@@ -1,0 +1,43 @@
+// Shared helpers for the experiment harnesses: table printing and
+// paper-vs-measured reporting. Each bench binary reproduces one figure or
+// claim from the paper (see DESIGN.md §3) and prints the same rows/series
+// the paper reports, plus an explicit comparison line.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace lsdf::bench {
+
+inline void headline(const std::string& experiment,
+                     const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void section(const std::string& title) {
+  std::printf("\n-- %s --\n", title.c_str());
+}
+
+// printf-style row.
+inline void row(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  std::vprintf(format, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+// The per-experiment verdict recorded in EXPERIMENTS.md.
+inline void compare(const std::string& metric, double paper,
+                    double measured, const std::string& unit) {
+  const double ratio = paper != 0.0 ? measured / paper : 0.0;
+  std::printf("[paper-vs-measured] %-34s paper=%-10.4g measured=%-10.4g %s"
+              "  (x%.2f)\n",
+              metric.c_str(), paper, measured, unit.c_str(), ratio);
+}
+
+}  // namespace lsdf::bench

@@ -1,0 +1,39 @@
+#include "common/checksum.h"
+
+#include <array>
+
+namespace lsdf {
+namespace {
+
+// Build the CRC32C (polynomial 0x1EDC6F41, reflected 0x82F63B78) table at
+// static-init time; table-driven one-byte-at-a-time is plenty for the
+// data volumes the real-execution paths move.
+constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1U) ? (crc >> 1) ^ 0x82F63B78U : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_crc32c_table();
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::byte> data, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  for (const std::byte b : data) {
+    crc = kTable[(crc ^ static_cast<std::uint32_t>(b)) & 0xFFU] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint32_t crc32c(std::string_view data, std::uint32_t seed) {
+  return crc32c(std::as_bytes(std::span(data.data(), data.size())), seed);
+}
+
+}  // namespace lsdf

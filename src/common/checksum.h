@@ -1,0 +1,31 @@
+// Data-integrity checksums used by the ingest pipeline and the DFS.
+//
+// CRC32C (Castagnoli) is the checksum HDFS uses per block; FNV-1a 64 is a
+// cheap fingerprint for metadata values. Both are implemented in portable
+// C++ (table-driven CRC) so the library has no hardware dependencies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace lsdf {
+
+// CRC32C over a byte span. Incremental form: pass the previous crc to chain.
+[[nodiscard]] std::uint32_t crc32c(std::span<const std::byte> data,
+                                   std::uint32_t seed = 0);
+[[nodiscard]] std::uint32_t crc32c(std::string_view data,
+                                   std::uint32_t seed = 0);
+
+// FNV-1a 64-bit hash.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace lsdf

@@ -1,0 +1,115 @@
+#include "common/config.h"
+
+#include <charconv>
+
+namespace lsdf {
+
+std::string_view trim(std::string_view s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string_view::npos) return {};
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> split(std::string_view s, char delimiter) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const auto pos = s.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(s.substr(start));
+      return parts;
+    }
+    parts.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+Result<Properties> Properties::parse(std::string_view text) {
+  Properties props;
+  int line_no = 0;
+  for (const auto& raw_line : split(text, '\n')) {
+    ++line_no;
+    std::string_view line = raw_line;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return invalid_argument("line " + std::to_string(line_no) +
+                              ": expected `key = value`");
+    }
+    const auto key = trim(line.substr(0, eq));
+    const auto value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      return invalid_argument("line " + std::to_string(line_no) +
+                              ": empty key");
+    }
+    props.set(std::string(key), std::string(value));
+  }
+  return props;
+}
+
+Result<std::string> Properties::get(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return not_found("no property `" + key + "`");
+  return it->second;
+}
+
+Result<std::int64_t> Properties::get_int(const std::string& key) const {
+  LSDF_ASSIGN_OR_RETURN(const std::string text, get(key));
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return invalid_argument("property `" + key + "` is not an integer: `" +
+                            text + "`");
+  }
+  return value;
+}
+
+Result<double> Properties::get_double(const std::string& key) const {
+  LSDF_ASSIGN_OR_RETURN(const std::string text, get(key));
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size()) {
+      return invalid_argument("property `" + key + "` has trailing junk: `" +
+                              text + "`");
+    }
+    return value;
+  } catch (const std::exception&) {
+    return invalid_argument("property `" + key + "` is not a number: `" +
+                            text + "`");
+  }
+}
+
+Result<bool> Properties::get_bool(const std::string& key) const {
+  LSDF_ASSIGN_OR_RETURN(const std::string text, get(key));
+  if (text == "true" || text == "1" || text == "yes") return true;
+  if (text == "false" || text == "0" || text == "no") return false;
+  return invalid_argument("property `" + key + "` is not a boolean: `" +
+                          text + "`");
+}
+
+std::string Properties::get_or(const std::string& key,
+                               std::string fallback) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? std::move(fallback) : it->second;
+}
+
+std::int64_t Properties::get_int_or(const std::string& key,
+                                    std::int64_t fallback) const {
+  const auto result = get_int(key);
+  return result.is_ok() ? result.value() : fallback;
+}
+
+double Properties::get_double_or(const std::string& key,
+                                 double fallback) const {
+  const auto result = get_double(key);
+  return result.is_ok() ? result.value() : fallback;
+}
+
+}  // namespace lsdf

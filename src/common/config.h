@@ -1,0 +1,55 @@
+// Simple `key = value` configuration properties, used to describe facility
+// deployments (storage systems, cluster sizes, link rates) in examples.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lsdf {
+
+class Properties {
+ public:
+  Properties() = default;
+
+  // Parses `key = value` lines; '#' starts a comment; blank lines ignored.
+  [[nodiscard]] static Result<Properties> parse(std::string_view text);
+
+  void set(std::string key, std::string value) {
+    entries_[std::move(key)] = std::move(value);
+  }
+
+  [[nodiscard]] bool contains(const std::string& key) const {
+    return entries_.contains(key);
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  [[nodiscard]] Result<std::string> get(const std::string& key) const;
+  [[nodiscard]] Result<std::int64_t> get_int(const std::string& key) const;
+  [[nodiscard]] Result<double> get_double(const std::string& key) const;
+  [[nodiscard]] Result<bool> get_bool(const std::string& key) const;
+
+  [[nodiscard]] std::string get_or(const std::string& key,
+                                   std::string fallback) const;
+  [[nodiscard]] std::int64_t get_int_or(const std::string& key,
+                                        std::int64_t fallback) const;
+  [[nodiscard]] double get_double_or(const std::string& key,
+                                     double fallback) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+// String helpers shared across modules.
+[[nodiscard]] std::string_view trim(std::string_view s);
+[[nodiscard]] std::vector<std::string> split(std::string_view s,
+                                             char delimiter);
+
+}  // namespace lsdf

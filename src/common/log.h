@@ -1,0 +1,54 @@
+// Minimal levelled logging. Experiment binaries keep it quiet by default;
+// tests can raise the level to trace facility behaviour.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace lsdf {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Log {
+ public:
+  static LogLevel& threshold() {
+    static LogLevel level = LogLevel::kWarn;
+    return level;
+  }
+
+  static void write(LogLevel level, std::string_view component,
+                    std::string_view message) {
+    if (level < threshold()) return;
+    static std::mutex mu;
+    const std::scoped_lock lock(mu);
+    std::clog << "[" << name(level) << "] " << component << ": " << message
+              << '\n';
+  }
+
+ private:
+  static constexpr std::string_view name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kTrace: return "TRACE";
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kOff: return "OFF";
+    }
+    return "?";
+  }
+};
+
+}  // namespace lsdf
+
+#define LSDF_LOG(level, component, expr)                              \
+  do {                                                                \
+    if (::lsdf::LogLevel::level >= ::lsdf::Log::threshold()) {        \
+      std::ostringstream lsdf_log_os_;                                \
+      lsdf_log_os_ << expr;                                           \
+      ::lsdf::Log::write(::lsdf::LogLevel::level, component,          \
+                         lsdf_log_os_.str());                         \
+    }                                                                 \
+  } while (false)

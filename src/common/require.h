@@ -1,0 +1,30 @@
+// Contract checks. A violated LSDF_REQUIRE is a programming error, not an
+// expected failure, so it throws ContractViolation (catchable by tests).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lsdf {
+
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failure(const char* expr, const char* file,
+                                          int line, const std::string& msg) {
+  throw ContractViolation(std::string(file) + ":" + std::to_string(line) +
+                          ": requirement `" + expr + "` failed: " + msg);
+}
+}  // namespace detail
+
+}  // namespace lsdf
+
+#define LSDF_REQUIRE(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::lsdf::detail::contract_failure(#cond, __FILE__, __LINE__, msg); \
+  } while (false)

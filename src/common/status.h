@@ -1,0 +1,168 @@
+// Status / Result: error propagation for expected failures.
+//
+// Expected failures (file not found, quota exceeded, permission denied,
+// backend offline) travel as values; exceptions are reserved for contract
+// violations (see require.h). This mirrors how a storage facility actually
+// fails: most errors are routine and must be handled, not unwound.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "common/require.h"
+
+namespace lsdf {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kPermissionDenied,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kUnavailable,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kDataLoss,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok() { return {}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (is_ok()) return "OK";
+    std::string s{lsdf::to_string(code_)};
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status not_found(std::string msg) {
+  return {StatusCode::kNotFound, std::move(msg)};
+}
+inline Status already_exists(std::string msg) {
+  return {StatusCode::kAlreadyExists, std::move(msg)};
+}
+inline Status invalid_argument(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+inline Status permission_denied(std::string msg) {
+  return {StatusCode::kPermissionDenied, std::move(msg)};
+}
+inline Status failed_precondition(std::string msg) {
+  return {StatusCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status resource_exhausted(std::string msg) {
+  return {StatusCode::kResourceExhausted, std::move(msg)};
+}
+inline Status unavailable(std::string msg) {
+  return {StatusCode::kUnavailable, std::move(msg)};
+}
+inline Status out_of_range(std::string msg) {
+  return {StatusCode::kOutOfRange, std::move(msg)};
+}
+inline Status internal_error(std::string msg) {
+  return {StatusCode::kInternal, std::move(msg)};
+}
+inline Status data_loss(std::string msg) {
+  return {StatusCode::kDataLoss, std::move(msg)};
+}
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-*)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    LSDF_REQUIRE(!std::get<Status>(data_).is_ok(),
+                 "Result constructed from OK status without a value");
+  }
+
+  [[nodiscard]] bool is_ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return is_ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    LSDF_REQUIRE(is_ok(), "Result::value() on error: " + status().to_string());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    LSDF_REQUIRE(is_ok(), "Result::value() on error: " + status().to_string());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& take() && {
+    LSDF_REQUIRE(is_ok(), "Result::take() on error: " + status().to_string());
+    return std::get<T>(std::move(data_));
+  }
+  [[nodiscard]] T value_or(T fallback) const {
+    return is_ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  [[nodiscard]] Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(data_);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+// Propagate a non-OK status out of the enclosing function.
+#define LSDF_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::lsdf::Status lsdf_status_ = (expr);            \
+    if (!lsdf_status_.is_ok()) return lsdf_status_;  \
+  } while (false)
+
+// Bind a Result's value to `lhs`, or propagate its error.
+#define LSDF_CONCAT_INNER(a, b) a##b
+#define LSDF_CONCAT(a, b) LSDF_CONCAT_INNER(a, b)
+#define LSDF_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.is_ok()) return tmp.status();           \
+  lhs = std::move(tmp).take()
+#define LSDF_ASSIGN_OR_RETURN(lhs, expr) \
+  LSDF_ASSIGN_OR_RETURN_IMPL(LSDF_CONCAT(lsdf_result_, __LINE__), lhs, expr)
+
+}  // namespace lsdf

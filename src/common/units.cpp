@@ -1,0 +1,58 @@
+#include "common/units.h"
+
+#include <array>
+#include <cstdio>
+#include <span>
+#include <string_view>
+
+namespace lsdf {
+namespace {
+
+std::string format_scaled(double value, std::string_view unit,
+                          std::span<const std::string_view> prefixes,
+                          double step) {
+  std::size_t i = 0;
+  while (value >= step && i + 1 < prefixes.size()) {
+    value /= step;
+    ++i;
+  }
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.2f %s%s", value,
+                std::string(prefixes[i]).c_str(),
+                std::string(unit).c_str());
+  return std::string(buf.data());
+}
+
+constexpr std::array<std::string_view, 6> kDecimalPrefixes = {
+    "", "K", "M", "G", "T", "P"};
+
+}  // namespace
+
+std::string format_bytes(Bytes b) {
+  return format_scaled(b.as_double(), "B", kDecimalPrefixes, 1000.0);
+}
+
+std::string format_rate(Rate r) {
+  return format_scaled(r.bps(), "B/s", kDecimalPrefixes, 1000.0);
+}
+
+std::string format_duration(SimDuration d) {
+  std::array<char, 64> buf{};
+  const double s = d.seconds();
+  if (s < 1e-3) {
+    std::snprintf(buf.data(), buf.size(), "%.2f us", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf.data(), buf.size(), "%.2f ms", s * 1e3);
+  } else if (s < 120.0) {
+    std::snprintf(buf.data(), buf.size(), "%.2f s", s);
+  } else if (s < 2.0 * 3600.0) {
+    std::snprintf(buf.data(), buf.size(), "%.2f min", s / 60.0);
+  } else if (s < 2.0 * 86400.0) {
+    std::snprintf(buf.data(), buf.size(), "%.2f h", s / 3600.0);
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%.2f days", s / 86400.0);
+  }
+  return std::string(buf.data());
+}
+
+}  // namespace lsdf

@@ -1,0 +1,289 @@
+// Strong quantity types used across the LSDF library.
+//
+// The paper's figures mix decimal storage units (a 4 MB image, 2 TB/day,
+// 1 PB archives) with link rates in bits per second (10 GE). To keep that
+// arithmetic honest we follow Core Guidelines P.1/P.4 and never pass bare
+// doubles around: byte counts, rates and simulated time are distinct types
+// with explicit conversions.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace lsdf {
+
+// ---------------------------------------------------------------------------
+// Bytes: a non-negative byte count. 64-bit signed so differences are safe;
+// 9.2 EB of headroom comfortably covers the facility's 6 PB/year roadmap.
+// ---------------------------------------------------------------------------
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::int64_t count) : count_(count) {}
+
+  [[nodiscard]] constexpr std::int64_t count() const { return count_; }
+  [[nodiscard]] constexpr double as_double() const {
+    return static_cast<double>(count_);
+  }
+
+  constexpr auto operator<=>(const Bytes&) const = default;
+
+  constexpr Bytes& operator+=(Bytes other) {
+    count_ += other.count_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes other) {
+    count_ -= other.count_;
+    return *this;
+  }
+
+  friend constexpr Bytes operator+(Bytes a, Bytes b) {
+    return Bytes(a.count_ + b.count_);
+  }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) {
+    return Bytes(a.count_ - b.count_);
+  }
+  friend constexpr Bytes operator*(Bytes a, std::int64_t k) {
+    return Bytes(a.count_ * k);
+  }
+  friend constexpr Bytes operator*(std::int64_t k, Bytes a) { return a * k; }
+  friend constexpr std::int64_t operator/(Bytes a, Bytes b) {
+    return a.count_ / b.count_;
+  }
+  friend constexpr Bytes operator/(Bytes a, std::int64_t k) {
+    return Bytes(a.count_ / k);
+  }
+
+  [[nodiscard]] static constexpr Bytes zero() { return Bytes(0); }
+
+ private:
+  std::int64_t count_ = 0;
+};
+
+// Decimal units (as used by storage vendors and the paper).
+constexpr Bytes operator""_B(unsigned long long v) {
+  return Bytes(static_cast<std::int64_t>(v));
+}
+constexpr Bytes operator""_KB(unsigned long long v) {
+  return Bytes(static_cast<std::int64_t>(v) * 1000);
+}
+constexpr Bytes operator""_MB(unsigned long long v) {
+  return Bytes(static_cast<std::int64_t>(v) * 1000 * 1000);
+}
+constexpr Bytes operator""_GB(unsigned long long v) {
+  return Bytes(static_cast<std::int64_t>(v) * 1000 * 1000 * 1000);
+}
+constexpr Bytes operator""_TB(unsigned long long v) {
+  return Bytes(static_cast<std::int64_t>(v) * 1000LL * 1000 * 1000 * 1000);
+}
+constexpr Bytes operator""_PB(unsigned long long v) {
+  return Bytes(static_cast<std::int64_t>(v) * 1000LL * 1000 * 1000 * 1000 *
+               1000);
+}
+// Binary units (as used by filesystems).
+constexpr Bytes operator""_KiB(unsigned long long v) {
+  return Bytes(static_cast<std::int64_t>(v) << 10);
+}
+constexpr Bytes operator""_MiB(unsigned long long v) {
+  return Bytes(static_cast<std::int64_t>(v) << 20);
+}
+constexpr Bytes operator""_GiB(unsigned long long v) {
+  return Bytes(static_cast<std::int64_t>(v) << 30);
+}
+constexpr Bytes operator""_TiB(unsigned long long v) {
+  return Bytes(static_cast<std::int64_t>(v) << 40);
+}
+
+// ---------------------------------------------------------------------------
+// SimTime / SimDuration: simulated wall-clock, in integer nanoseconds.
+// Integer ticks keep the discrete-event simulation bit-reproducible; the
+// range covers ±292 years, far beyond the 2009-2014 facility timeline.
+// ---------------------------------------------------------------------------
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  constexpr explicit SimDuration(std::int64_t nanos) : nanos_(nanos) {}
+
+  [[nodiscard]] constexpr std::int64_t nanos() const { return nanos_; }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(nanos_) * 1e-9;
+  }
+  [[nodiscard]] constexpr double minutes() const { return seconds() / 60.0; }
+  [[nodiscard]] constexpr double hours() const { return seconds() / 3600.0; }
+  [[nodiscard]] constexpr double days() const { return seconds() / 86400.0; }
+
+  [[nodiscard]] static constexpr SimDuration from_seconds(double s) {
+    return SimDuration(static_cast<std::int64_t>(s * 1e9));
+  }
+  [[nodiscard]] static constexpr SimDuration zero() { return SimDuration(0); }
+  [[nodiscard]] static constexpr SimDuration max() {
+    return SimDuration(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+  constexpr SimDuration& operator+=(SimDuration o) {
+    nanos_ += o.nanos_;
+    return *this;
+  }
+  friend constexpr SimDuration operator+(SimDuration a, SimDuration b) {
+    return SimDuration(a.nanos_ + b.nanos_);
+  }
+  friend constexpr SimDuration operator-(SimDuration a, SimDuration b) {
+    return SimDuration(a.nanos_ - b.nanos_);
+  }
+  friend constexpr SimDuration operator*(SimDuration a, std::int64_t k) {
+    return SimDuration(a.nanos_ * k);
+  }
+  friend constexpr SimDuration operator*(std::int64_t k, SimDuration a) {
+    return a * k;
+  }
+  friend constexpr SimDuration operator/(SimDuration a, std::int64_t k) {
+    return SimDuration(a.nanos_ / k);
+  }
+  friend constexpr double operator/(SimDuration a, SimDuration b) {
+    return static_cast<double>(a.nanos_) / static_cast<double>(b.nanos_);
+  }
+
+ private:
+  std::int64_t nanos_ = 0;
+};
+
+constexpr SimDuration operator""_ns(unsigned long long v) {
+  return SimDuration(static_cast<std::int64_t>(v));
+}
+constexpr SimDuration operator""_us(unsigned long long v) {
+  return SimDuration(static_cast<std::int64_t>(v) * 1000);
+}
+constexpr SimDuration operator""_ms(unsigned long long v) {
+  return SimDuration(static_cast<std::int64_t>(v) * 1000 * 1000);
+}
+constexpr SimDuration operator""_s(unsigned long long v) {
+  return SimDuration(static_cast<std::int64_t>(v) * 1000 * 1000 * 1000);
+}
+constexpr SimDuration operator""_min(unsigned long long v) {
+  return SimDuration(static_cast<std::int64_t>(v) * 60LL * 1000 * 1000 * 1000);
+}
+constexpr SimDuration operator""_h(unsigned long long v) {
+  return SimDuration(static_cast<std::int64_t>(v) * 3600LL * 1000 * 1000 *
+                     1000);
+}
+constexpr SimDuration operator""_days(unsigned long long v) {
+  return SimDuration(static_cast<std::int64_t>(v) * 86400LL * 1000 * 1000 *
+                     1000);
+}
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t nanos) : nanos_(nanos) {}
+
+  [[nodiscard]] constexpr std::int64_t nanos() const { return nanos_; }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(nanos_) * 1e-9;
+  }
+  [[nodiscard]] constexpr double hours() const { return seconds() / 3600.0; }
+  [[nodiscard]] constexpr double days() const { return seconds() / 86400.0; }
+
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime(0); }
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  friend constexpr SimTime operator+(SimTime t, SimDuration d) {
+    return SimTime(t.nanos_ + d.nanos());
+  }
+  friend constexpr SimTime operator+(SimDuration d, SimTime t) {
+    return t + d;
+  }
+  friend constexpr SimTime operator-(SimTime t, SimDuration d) {
+    return SimTime(t.nanos_ - d.nanos());
+  }
+  friend constexpr SimDuration operator-(SimTime a, SimTime b) {
+    return SimDuration(a.nanos_ - b.nanos_);
+  }
+
+ private:
+  std::int64_t nanos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Rates. Stored as double bytes/second; constructed explicitly from either
+// byte or bit units so "10 GE" (10 Gb/s) cannot be confused with 10 GB/s.
+// ---------------------------------------------------------------------------
+class Rate {
+ public:
+  constexpr Rate() = default;
+
+  [[nodiscard]] static constexpr Rate bytes_per_second(double v) {
+    return Rate(v);
+  }
+  [[nodiscard]] static constexpr Rate bits_per_second(double v) {
+    return Rate(v / 8.0);
+  }
+  [[nodiscard]] static constexpr Rate megabytes_per_second(double v) {
+    return Rate(v * 1e6);
+  }
+  [[nodiscard]] static constexpr Rate gigabits_per_second(double v) {
+    return Rate(v * 1e9 / 8.0);
+  }
+  [[nodiscard]] static constexpr Rate zero() { return Rate(0.0); }
+
+  [[nodiscard]] constexpr double bps() const { return bytes_per_sec_; }
+  [[nodiscard]] constexpr double bits_ps() const {
+    return bytes_per_sec_ * 8.0;
+  }
+  [[nodiscard]] constexpr double mbps() const { return bytes_per_sec_ / 1e6; }
+  [[nodiscard]] constexpr bool is_zero() const {
+    return bytes_per_sec_ <= 0.0;
+  }
+
+  constexpr auto operator<=>(const Rate&) const = default;
+
+  friend constexpr Rate operator+(Rate a, Rate b) {
+    return Rate(a.bytes_per_sec_ + b.bytes_per_sec_);
+  }
+  friend constexpr Rate operator-(Rate a, Rate b) {
+    return Rate(a.bytes_per_sec_ - b.bytes_per_sec_);
+  }
+  friend constexpr Rate operator*(Rate a, double k) {
+    return Rate(a.bytes_per_sec_ * k);
+  }
+  friend constexpr Rate operator*(double k, Rate a) { return a * k; }
+  friend constexpr Rate operator/(Rate a, double k) {
+    return Rate(a.bytes_per_sec_ / k);
+  }
+  friend constexpr double operator/(Rate a, Rate b) {
+    return a.bytes_per_sec_ / b.bytes_per_sec_;
+  }
+
+ private:
+  constexpr explicit Rate(double bytes_per_sec)
+      : bytes_per_sec_(bytes_per_sec) {}
+  double bytes_per_sec_ = 0.0;
+};
+
+// Time to move `size` at `rate`; SimDuration::max() when the rate is zero.
+[[nodiscard]] constexpr SimDuration transfer_time(Bytes size, Rate rate) {
+  if (rate.is_zero()) return SimDuration::max();
+  return SimDuration::from_seconds(size.as_double() / rate.bps());
+}
+
+// Average rate achieved moving `size` over `elapsed`.
+[[nodiscard]] constexpr Rate average_rate(Bytes size, SimDuration elapsed) {
+  if (elapsed <= SimDuration::zero()) return Rate::zero();
+  return Rate::bytes_per_second(size.as_double() / elapsed.seconds());
+}
+
+// Human-readable formatting (decimal units, two significant decimals).
+[[nodiscard]] std::string format_bytes(Bytes b);
+[[nodiscard]] std::string format_rate(Rate r);
+[[nodiscard]] std::string format_duration(SimDuration d);
+
+}  // namespace lsdf

@@ -1,0 +1,94 @@
+#include "core/mirror.h"
+
+namespace lsdf::core {
+
+MirrorService::MirrorService(sim::Simulator& simulator,
+                             net::TransferEngine& net,
+                             meta::MetadataStore& store, MirrorConfig config)
+    : simulator_(simulator), net_(net), store_(store), config_(config) {
+  LSDF_REQUIRE(config_.max_concurrent > 0, "need at least one mirror slot");
+  LSDF_REQUIRE(config_.max_attempts >= 1, "need at least one attempt");
+  LSDF_REQUIRE(config_.wan_efficiency > 0.0 && config_.wan_efficiency <= 1.0,
+               "WAN efficiency must be in (0, 1]");
+}
+
+void MirrorService::start() {
+  LSDF_REQUIRE(!started_, "mirror service already started");
+  started_ = true;
+  store_.subscribe([this](const meta::MetaEvent& event) {
+    if (event.kind == meta::EventKind::kTagged &&
+        event.detail == config_.trigger_tag) {
+      mirror(event.dataset);
+    }
+  });
+}
+
+void MirrorService::mirror(meta::DatasetId dataset) {
+  if (tracked_.contains(dataset)) return;  // already queued or mirrored
+  if (!store_.get(dataset).is_ok()) return;
+  tracked_.insert(dataset);
+  ++stats_.queued;
+  queue_.push_back(Pending{dataset, 1});
+  pump();
+}
+
+void MirrorService::pump() {
+  while (in_flight_ < config_.max_concurrent && !queue_.empty()) {
+    Pending pending = queue_.front();
+    queue_.pop_front();
+    ++in_flight_;
+    attempt(pending);
+  }
+}
+
+void MirrorService::attempt(Pending pending) {
+  const auto record = store_.get(pending.dataset);
+  if (!record.is_ok()) {  // dataset vanished: drop silently
+    --in_flight_;
+    tracked_.erase(pending.dataset);
+    pump();
+    return;
+  }
+  net::TransferOptions options;
+  options.efficiency = config_.wan_efficiency;
+  const Bytes size = record.value().size;
+  const auto flow = net_.start_transfer(
+      config_.local_gateway, config_.remote_site, size, options,
+      [this, dataset = pending.dataset,
+       size](const net::TransferCompletion&) {
+        --in_flight_;
+        finished(dataset, size);
+        pump();
+      });
+  if (!flow.is_ok()) {
+    // No WAN route right now (outage): back off and retry.
+    --in_flight_;
+    failed_attempt(pending);
+    pump();
+  }
+}
+
+void MirrorService::finished(meta::DatasetId dataset, Bytes size) {
+  mirrored_.insert(dataset);
+  ++stats_.mirrored;
+  stats_.bytes_mirrored += size;
+  if (!config_.done_tag.empty()) {
+    (void)store_.tag(dataset, config_.done_tag);
+  }
+}
+
+void MirrorService::failed_attempt(Pending pending) {
+  if (pending.attempt >= config_.max_attempts) {
+    ++stats_.failed;
+    tracked_.erase(pending.dataset);  // a later tag may retry from scratch
+    return;
+  }
+  ++stats_.retries;
+  ++pending.attempt;
+  simulator_.schedule_after(config_.retry_backoff, [this, pending] {
+    queue_.push_back(pending);
+    pump();
+  });
+}
+
+}  // namespace lsdf::core

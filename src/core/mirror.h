@@ -1,0 +1,84 @@
+// MirrorService: cross-site replication to the partner university (paper
+// slides 6/7: "tight cooperation with BioQuant of Univ. Heidelberg", with
+// a dedicated WAN link in the facility fabric). Tagging a dataset with the
+// trigger tag queues a WAN copy; transfers run a bounded number at a time,
+// retry with backoff across WAN outages, and stamp the done tag when the
+// remote copy is complete.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <string>
+
+#include "common/units.h"
+#include "meta/store.h"
+#include "net/transfer_engine.h"
+#include "sim/simulator.h"
+
+namespace lsdf::core {
+
+struct MirrorConfig {
+  // Source gateway inside the facility and the remote site's node.
+  net::NodeId local_gateway = 0;
+  net::NodeId remote_site = 0;
+  std::string trigger_tag = "share-with-heidelberg";
+  std::string done_tag = "mirrored";
+  // WAN protocol efficiency (2011 long-haul TCP).
+  double wan_efficiency = 0.62;
+  int max_concurrent = 4;
+  // Attempts per dataset; an attempt fails when no WAN route exists.
+  int max_attempts = 5;
+  SimDuration retry_backoff = 5_min;
+};
+
+struct MirrorStats {
+  std::int64_t queued = 0;
+  std::int64_t mirrored = 0;
+  std::int64_t failed = 0;   // gave up after max_attempts
+  std::int64_t retries = 0;
+  Bytes bytes_mirrored;
+};
+
+class MirrorService {
+ public:
+  MirrorService(sim::Simulator& simulator, net::TransferEngine& net,
+                meta::MetadataStore& store, MirrorConfig config);
+
+  // Begin watching the metadata store for the trigger tag.
+  void start();
+
+  // Queue a dataset directly (the tag path calls this too).
+  void mirror(meta::DatasetId dataset);
+
+  [[nodiscard]] bool is_mirrored(meta::DatasetId dataset) const {
+    return mirrored_.contains(dataset);
+  }
+  [[nodiscard]] const MirrorStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] int in_flight() const { return in_flight_; }
+
+ private:
+  struct Pending {
+    meta::DatasetId dataset = 0;
+    int attempt = 1;
+  };
+
+  void pump();
+  void attempt(Pending pending);
+  void finished(meta::DatasetId dataset, Bytes size);
+  void failed_attempt(Pending pending);
+
+  sim::Simulator& simulator_;
+  net::TransferEngine& net_;
+  meta::MetadataStore& store_;
+  MirrorConfig config_;
+  std::deque<Pending> queue_;
+  std::set<meta::DatasetId> mirrored_;
+  std::set<meta::DatasetId> tracked_;  // queued or done: dedup
+  int in_flight_ = 0;
+  bool started_ = false;
+  MirrorStats stats_;
+};
+
+}  // namespace lsdf::core

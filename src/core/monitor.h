@@ -1,0 +1,54 @@
+// FacilityMonitor: periodic sampling of facility-wide health metrics into
+// time series, plus human-readable status reports — the operations view a
+// real facility runs on ("infrastructure and storage services up and
+// running", slide 15). Benches use it to print figure-style series.
+#pragma once
+
+#include <string>
+
+#include "common/stats.h"
+#include "core/facility.h"
+
+namespace lsdf::core {
+
+class FacilityMonitor {
+ public:
+  FacilityMonitor(Facility& facility, SimDuration sample_period);
+
+  // Begin/stop periodic sampling (one sample is taken at start).
+  void start();
+  void stop();
+  // Take one sample immediately (also usable without start()).
+  void sample();
+
+  [[nodiscard]] const TimeSeries& pool_used_bytes() const {
+    return pool_used_;
+  }
+  [[nodiscard]] const TimeSeries& tape_used_bytes() const {
+    return tape_used_;
+  }
+  [[nodiscard]] const TimeSeries& dataset_count() const { return datasets_; }
+  [[nodiscard]] const TimeSeries& ingest_queue_depth() const {
+    return ingest_queue_;
+  }
+  [[nodiscard]] const TimeSeries& dfs_used_bytes() const { return dfs_used_; }
+  [[nodiscard]] const TimeSeries& running_vms() const { return vms_; }
+
+  // Multi-line snapshot of the facility right now.
+  [[nodiscard]] std::string status_report() const;
+
+  // All series as CSV (time_s, metric, value) for offline plotting.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  Facility& facility_;
+  sim::PeriodicTask sampler_;
+  TimeSeries pool_used_;
+  TimeSeries tape_used_;
+  TimeSeries datasets_;
+  TimeSeries ingest_queue_;
+  TimeSeries dfs_used_;
+  TimeSeries vms_;
+};
+
+}  // namespace lsdf::core

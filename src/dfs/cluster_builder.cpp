@@ -1,0 +1,44 @@
+#include "dfs/cluster_builder.h"
+
+#include "common/require.h"
+
+namespace lsdf::dfs {
+
+ClusterLayout build_cluster_layout(const ClusterLayoutConfig& config) {
+  LSDF_REQUIRE(config.racks > 0 && config.nodes_per_rack > 0,
+               "cluster needs racks and nodes");
+  ClusterLayout layout;
+  layout.core = layout.topology.add_node("core");
+  layout.headnode = layout.topology.add_node("headnode");
+  layout.topology.add_duplex_link(layout.headnode, layout.core,
+                                  config.rack_uplink, config.rack_latency);
+  for (int rack = 0; rack < config.racks; ++rack) {
+    const std::string rack_name = "rack" + std::to_string(rack);
+    const net::NodeId rack_switch =
+        layout.topology.add_node(rack_name + ".switch");
+    layout.topology.add_duplex_link(rack_switch, layout.core,
+                                    config.rack_uplink, config.rack_latency);
+    for (int slot = 0; slot < config.nodes_per_rack; ++slot) {
+      const net::NodeId worker = layout.topology.add_node(
+          rack_name + ".node" + std::to_string(slot));
+      layout.topology.add_duplex_link(worker, rack_switch, config.node_link,
+                                      config.node_latency);
+      layout.workers.push_back(worker);
+      layout.worker_racks.push_back(rack_name);
+    }
+  }
+  return layout;
+}
+
+std::vector<DataNodeId> register_datanodes(DfsCluster& dfs,
+                                           const ClusterLayout& layout) {
+  std::vector<DataNodeId> ids;
+  ids.reserve(layout.workers.size());
+  for (std::size_t i = 0; i < layout.workers.size(); ++i) {
+    ids.push_back(
+        dfs.add_datanode(layout.workers[i], layout.worker_racks[i]));
+  }
+  return ids;
+}
+
+}  // namespace lsdf::dfs

@@ -1,0 +1,41 @@
+// Helper that assembles the analysis cluster's two-level network (core
+// switch, rack switches, worker nodes) plus gateway nodes for the storage
+// systems and the WAN — the physical layout of paper slide 7 — and
+// registers every worker as a DFS datanode.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfs/dfs.h"
+#include "net/topology.h"
+
+namespace lsdf::dfs {
+
+struct ClusterLayoutConfig {
+  int racks = 4;
+  int nodes_per_rack = 15;  // 60 nodes total, as in the paper
+  Rate node_link = Rate::gigabits_per_second(1.0);
+  Rate rack_uplink = Rate::gigabits_per_second(10.0);
+  SimDuration node_latency = 100_us;
+  SimDuration rack_latency = 50_us;
+};
+
+struct ClusterLayout {
+  net::Topology topology;
+  net::NodeId core = 0;                   // core switch
+  net::NodeId headnode = 0;               // login/head node on the core
+  std::vector<net::NodeId> workers;       // worker nodes, rack-major order
+  std::vector<std::string> worker_racks;  // rack name per worker
+};
+
+// Build the switched fabric. The topology is self-contained; the caller
+// owns it (and typically moves it into a Facility).
+[[nodiscard]] ClusterLayout build_cluster_layout(
+    const ClusterLayoutConfig& config);
+
+// Register every worker of `layout` as a datanode of `dfs`.
+std::vector<DataNodeId> register_datanodes(DfsCluster& dfs,
+                                           const ClusterLayout& layout);
+
+}  // namespace lsdf::dfs

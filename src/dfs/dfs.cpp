@@ -1,0 +1,759 @@
+#include "dfs/dfs.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace lsdf::dfs {
+
+DfsCluster::DfsCluster(sim::Simulator& simulator,
+                       const net::Topology& topology,
+                       net::TransferEngine& net, DfsConfig config)
+    : simulator_(simulator),
+      topology_(topology),
+      net_(net),
+      config_(config),
+      rng_(config.placement_seed) {
+  LSDF_REQUIRE(config_.block_size > Bytes::zero(),
+               "block size must be positive");
+  LSDF_REQUIRE(config_.replication >= 1, "replication must be >= 1");
+}
+
+DataNodeId DfsCluster::add_datanode(net::NodeId where, std::string rack) {
+  LSDF_REQUIRE(!by_location_.contains(where),
+               "topology node already hosts a datanode");
+  const auto id = static_cast<DataNodeId>(nodes_.size());
+  DataNode node;
+  node.where = where;
+  node.rack = std::move(rack);
+  node.disk = std::make_unique<storage::FairChannel>(
+      simulator_, config_.datanode_disk_rate, config_.per_stream_cap);
+  nodes_.push_back(std::move(node));
+  by_location_.emplace(where, id);
+  return id;
+}
+
+Bytes DfsCluster::capacity() const {
+  Bytes total;
+  for (const DataNode& node : nodes_) {
+    if (node.alive) total += config_.datanode_capacity;
+  }
+  return total;
+}
+
+Bytes DfsCluster::used() const {
+  Bytes total;
+  for (const DataNode& node : nodes_) total += node.used;
+  return total;
+}
+
+std::optional<DataNodeId> DfsCluster::datanode_at(net::NodeId where) const {
+  const auto it = by_location_.find(where);
+  if (it == by_location_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<DataNodeId> DfsCluster::choose_replicas(net::NodeId client,
+                                                    Bytes block_size) {
+  const int want = std::min<int>(config_.replication,
+                                 static_cast<int>(nodes_.size()));
+  std::vector<DataNodeId> chosen;
+
+  auto usable = [&](DataNodeId id) {
+    const DataNode& node = nodes_[id];
+    return node.alive && !node.draining &&
+           node.used + block_size <= config_.datanode_capacity &&
+           std::find(chosen.begin(), chosen.end(), id) == chosen.end();
+  };
+  auto pick = [&](auto&& extra) -> std::optional<DataNodeId> {
+    std::vector<DataNodeId> candidates;
+    for (DataNodeId id = 0; id < nodes_.size(); ++id) {
+      if (usable(id) && extra(id)) candidates.push_back(id);
+    }
+    if (candidates.empty()) return std::nullopt;
+    return candidates[rng_.index(candidates.size())];
+  };
+  auto any = [](DataNodeId) { return true; };
+
+  // First replica: the writer's own datanode when possible.
+  if (const auto local = datanode_at(client); local && usable(*local)) {
+    chosen.push_back(*local);
+  } else if (const auto node = pick(any)) {
+    chosen.push_back(*node);
+  } else {
+    return chosen;
+  }
+
+  // Second replica: a different rack than the first.
+  if (want >= 2) {
+    const std::string& first_rack = nodes_[chosen[0]].rack;
+    auto off_rack = [&](DataNodeId id) {
+      return nodes_[id].rack != first_rack;
+    };
+    if (const auto node = pick(off_rack)) {
+      chosen.push_back(*node);
+    } else if (const auto fallback = pick(any)) {
+      chosen.push_back(*fallback);
+    }
+  }
+
+  // Third replica: same rack as the second, different node.
+  if (want >= 3 && chosen.size() >= 2) {
+    const std::string& second_rack = nodes_[chosen[1]].rack;
+    auto same_rack = [&](DataNodeId id) {
+      return nodes_[id].rack == second_rack;
+    };
+    if (const auto node = pick(same_rack)) {
+      chosen.push_back(*node);
+    } else if (const auto fallback = pick(any)) {
+      chosen.push_back(*fallback);
+    }
+  }
+
+  // Any further replicas: random.
+  while (static_cast<int>(chosen.size()) < want) {
+    const auto node = pick(any);
+    if (!node) break;
+    chosen.push_back(*node);
+  }
+  return chosen;
+}
+
+void DfsCluster::write_file(const std::string& path, Bytes size,
+                            net::NodeId client, DfsCallback done) {
+  const SimTime started = simulator_.now();
+  auto fail = [&](Status status) {
+    simulator_.schedule_after(
+        SimDuration::zero(),
+        [this, status = std::move(status), started, size,
+         done = std::move(done)] {
+          if (done) {
+            done(DfsIoResult{status, started, simulator_.now(), size});
+          }
+        });
+  };
+  if (files_.contains(path)) {
+    fail(already_exists(path));
+    return;
+  }
+  if (nodes_.empty()) {
+    fail(failed_precondition("no datanodes"));
+    return;
+  }
+  if (size <= Bytes::zero()) {
+    fail(invalid_argument("file size must be positive"));
+    return;
+  }
+
+  // Cut into blocks and place each one now (the namenode allocates block
+  // ids and replica sets up front; data then streams block by block).
+  FileInfo info;
+  info.path = path;
+  info.size = size;
+  Bytes remaining = size;
+  while (remaining > Bytes::zero()) {
+    const Bytes this_block = std::min(remaining, config_.block_size);
+    remaining -= this_block;
+    const std::vector<DataNodeId> replicas =
+        choose_replicas(client, this_block);
+    if (replicas.empty()) {
+      // Roll back already-placed blocks of this file.
+      for (const BlockId placed : info.blocks) {
+        for (const DataNodeId node : blocks_[placed].replicas) {
+          nodes_[node].used -= blocks_[placed].size;
+        }
+        blocks_.erase(placed);
+      }
+      fail(resource_exhausted("no datanode can hold a block of " + path));
+      return;
+    }
+    const BlockId id = next_block_id_++;
+    for (const DataNodeId node : replicas) nodes_[node].used += this_block;
+    blocks_.emplace(id, BlockInfo{id, this_block, replicas});
+    info.blocks.push_back(id);
+  }
+  files_.emplace(path, info);
+
+  // Stream the blocks sequentially, as an HDFS client does.
+  auto writer = std::make_shared<std::function<void(std::size_t)>>();
+  auto blocks = std::make_shared<std::vector<BlockId>>(info.blocks);
+  *writer = [this, writer, blocks, client, started, size,
+             done = std::move(done)](std::size_t index) {
+    if (index >= blocks->size()) {
+      if (done) {
+        done(DfsIoResult{Status::ok(), started, simulator_.now(), size});
+      }
+      // Break the writer's self-reference cycle once the event completes
+      // (not from inside the functor being destroyed).
+      simulator_.schedule_after(SimDuration::zero(),
+                                [writer] { *writer = nullptr; });
+      return;
+    }
+    write_block((*blocks)[index], client, [writer, index](
+                                              const DfsIoResult& result) {
+      LSDF_REQUIRE(result.status.is_ok(), "block write cannot fail here");
+      (*writer)(index + 1);
+    });
+  };
+  (*writer)(0);
+}
+
+void DfsCluster::write_block(BlockId id, net::NodeId client,
+                             DfsCallback done) {
+  const BlockInfo& info = blocks_.at(id);
+  const SimTime started = simulator_.now();
+
+  // Pipeline model: the client→first-replica hop, the inter-replica hops
+  // and every replica's disk write all proceed concurrently; the block is
+  // durable when the slowest leg finishes.
+  auto pending = std::make_shared<int>(0);
+  auto state = std::make_shared<std::pair<DfsCallback, SimTime>>(
+      std::move(done), started);
+  auto leg_done = [this, pending, state, size = info.size] {
+    if (--*pending == 0 && state->first) {
+      state->first(DfsIoResult{Status::ok(), state->second, simulator_.now(),
+                               size});
+    }
+  };
+
+  net::NodeId previous = client;
+  for (const DataNodeId replica : info.replicas) {
+    const net::NodeId where = nodes_[replica].where;
+    if (where != previous) {
+      ++*pending;
+      const auto route = net_.start_transfer(
+          previous, where, info.size, net::TransferOptions{},
+          [leg_done](const net::TransferCompletion&) { leg_done(); });
+      LSDF_REQUIRE(route.is_ok(), "no route in cluster fabric");
+    }
+    ++*pending;
+    nodes_[replica].disk->submit(info.size, leg_done);
+    previous = where;
+  }
+  if (*pending == 0) {
+    // Degenerate single-node cluster with the client on the datanode and a
+    // zero-cost channel is impossible (disk leg always added), but keep the
+    // contract airtight.
+    simulator_.schedule_after(SimDuration::zero(), [leg_done, pending] {
+      ++*pending;
+      leg_done();
+    });
+  }
+}
+
+Result<FileInfo> DfsCluster::stat(const std::string& path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) return not_found(path);
+  return it->second;
+}
+
+Result<BlockInfo> DfsCluster::block(BlockId id) const {
+  const auto it = blocks_.find(id);
+  if (it == blocks_.end()) return not_found("block #" + std::to_string(id));
+  return it->second;
+}
+
+Status DfsCluster::remove(const std::string& path) {
+  const auto it = files_.find(path);
+  if (it == files_.end()) return not_found(path);
+  for (const BlockId id : it->second.blocks) {
+    const BlockInfo& info = blocks_.at(id);
+    for (const DataNodeId replica : info.replicas) {
+      nodes_[replica].used -= info.size;
+    }
+    blocks_.erase(id);
+  }
+  files_.erase(it);
+  return Status::ok();
+}
+
+std::vector<std::string> DfsCluster::list() const {
+  std::vector<std::string> paths;
+  paths.reserve(files_.size());
+  for (const auto& [path, info] : files_) paths.push_back(path);
+  return paths;
+}
+
+Locality DfsCluster::locality_between(DataNodeId a, DataNodeId b) const {
+  if (a == b) return Locality::kNodeLocal;
+  if (nodes_[a].rack == nodes_[b].rack) return Locality::kRackLocal;
+  return Locality::kRemote;
+}
+
+Locality DfsCluster::block_locality(BlockId id, DataNodeId reader) const {
+  const auto it = blocks_.find(id);
+  LSDF_REQUIRE(it != blocks_.end(), "unknown block");
+  Locality best = Locality::kRemote;
+  for (const DataNodeId replica : it->second.replicas) {
+    const Locality loc = locality_between(replica, reader);
+    if (loc < best) best = loc;
+  }
+  return best;
+}
+
+std::vector<DataNodeId> DfsCluster::block_replicas(BlockId id) const {
+  const auto it = blocks_.find(id);
+  if (it == blocks_.end()) return {};
+  return it->second.replicas;
+}
+
+void DfsCluster::read_block(BlockId id, net::NodeId reader,
+                            DfsCallback done) {
+  read_attempt(id, reader, {}, simulator_.now(), std::move(done));
+}
+
+Status DfsCluster::corrupt_replica(BlockId id, DataNodeId node) {
+  const auto it = blocks_.find(id);
+  if (it == blocks_.end()) return not_found("block #" + std::to_string(id));
+  const auto& replicas = it->second.replicas;
+  if (std::find(replicas.begin(), replicas.end(), node) == replicas.end()) {
+    return not_found("no replica of the block on that datanode");
+  }
+  corrupted_.emplace(id, node);
+  return Status::ok();
+}
+
+void DfsCluster::read_attempt(BlockId id, net::NodeId reader,
+                              std::vector<DataNodeId> excluded,
+                              SimTime started, DfsCallback done) {
+  auto fail = [&](Status status) {
+    simulator_.schedule_after(
+        SimDuration::zero(),
+        [this, status = std::move(status), started,
+         done = std::move(done)] {
+          if (done) {
+            done(DfsIoResult{status, started, simulator_.now(),
+                             Bytes::zero()});
+          }
+        });
+  };
+  const auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    fail(not_found("block #" + std::to_string(id)));
+    return;
+  }
+
+  // Choose the closest live, not-yet-tried replica.
+  const auto reader_dn = datanode_at(reader);
+  const DataNodeId* best = nullptr;
+  Locality best_locality = Locality::kRemote;
+  for (const DataNodeId& replica : it->second.replicas) {
+    if (!nodes_[replica].alive) continue;
+    if (std::find(excluded.begin(), excluded.end(), replica) !=
+        excluded.end()) {
+      continue;
+    }
+    Locality loc = Locality::kRemote;
+    if (reader_dn) {
+      loc = locality_between(replica, *reader_dn);
+    } else if (nodes_[replica].where == reader) {
+      loc = Locality::kNodeLocal;
+    }
+    if (best == nullptr || loc < best_locality) {
+      best = &replica;
+      best_locality = loc;
+    }
+  }
+  if (best == nullptr) {
+    if (excluded.empty()) {
+      fail(unavailable("all replicas of block #" + std::to_string(id) +
+                       " are down"));
+    } else {
+      fail(data_loss("every readable replica of block #" +
+                     std::to_string(id) + " failed verification"));
+    }
+    return;
+  }
+
+  const DataNodeId source = *best;
+  const Bytes size = it->second.size;
+  auto pending = std::make_shared<int>(1);
+  auto state = std::make_shared<DfsIoResult>();
+  state->status = Status::ok();
+  state->started = started;
+  state->size = size;
+  state->locality = best_locality;
+  auto leg_done = [this, id, reader, source, size, pending, state,
+                   excluded = std::move(excluded),
+                   done = std::move(done)]() mutable {
+    if (--*pending != 0) return;
+    // Data fully streamed: verify the checksum, as an HDFS client would.
+    if (corrupted_.contains({id, source})) {
+      ++checksum_failures_;
+      // Quarantine the replica, restore redundancy, try the next one.
+      const auto block_it = blocks_.find(id);
+      if (block_it != blocks_.end()) {
+        auto& replicas = block_it->second.replicas;
+        const auto bad =
+            std::find(replicas.begin(), replicas.end(), source);
+        if (bad != replicas.end()) {
+          replicas.erase(bad);
+          nodes_[source].used -= size;
+        }
+        corrupted_.erase({id, source});
+        schedule_rereplication(id);
+      }
+      excluded.push_back(source);
+      read_attempt(id, reader, std::move(excluded), state->started,
+                   std::move(done));
+      return;
+    }
+    if (done) {
+      state->finished = simulator_.now();
+      done(*state);
+    }
+  };
+  if (nodes_[source].where != reader) {
+    ++*pending;
+    const auto route = net_.start_transfer(
+        nodes_[source].where, reader, size, net::TransferOptions{},
+        [leg_done](const net::TransferCompletion&) mutable { leg_done(); });
+    LSDF_REQUIRE(route.is_ok(), "no route in cluster fabric");
+  }
+  nodes_[source].disk->submit(size, leg_done);
+}
+
+Status DfsCluster::fail_datanode(DataNodeId id) {
+  if (id >= nodes_.size()) return not_found("datanode");
+  DataNode& node = nodes_[id];
+  if (!node.alive) return failed_precondition("datanode already down");
+  node.alive = false;
+  node.used = Bytes::zero();
+  // Drop its replicas and queue re-replication for affected blocks.
+  std::vector<BlockId> degraded;
+  for (auto& [block_id, info] : blocks_) {
+    const auto replica_it =
+        std::find(info.replicas.begin(), info.replicas.end(), id);
+    if (replica_it != info.replicas.end()) {
+      info.replicas.erase(replica_it);
+      degraded.push_back(block_id);
+    }
+  }
+  for (const BlockId block_id : degraded) schedule_rereplication(block_id);
+  return Status::ok();
+}
+
+Status DfsCluster::recover_datanode(DataNodeId id) {
+  if (id >= nodes_.size()) return not_found("datanode");
+  DataNode& node = nodes_[id];
+  if (node.alive) return failed_precondition("datanode already up");
+  node.alive = true;
+  node.used = Bytes::zero();  // rejoins empty; old replicas were dropped
+  return Status::ok();
+}
+
+void DfsCluster::schedule_rereplication(BlockId id) {
+  const auto it = blocks_.find(id);
+  if (it == blocks_.end()) return;
+  BlockInfo& info = it->second;
+  if (info.replicas.empty()) return;  // data lost; nothing to copy from
+  if (static_cast<int>(info.replicas.size()) >= config_.replication) return;
+
+  // Pick a live source and a fresh target (prefer a different rack).
+  const DataNodeId source = info.replicas[rng_.index(info.replicas.size())];
+  std::vector<DataNodeId> candidates;
+  for (DataNodeId candidate = 0; candidate < nodes_.size(); ++candidate) {
+    const DataNode& node = nodes_[candidate];
+    if (!node.alive) continue;
+    if (node.used + info.size > config_.datanode_capacity) continue;
+    if (std::find(info.replicas.begin(), info.replicas.end(), candidate) !=
+        info.replicas.end()) {
+      continue;
+    }
+    candidates.push_back(candidate);
+  }
+  if (candidates.empty()) return;
+  auto off_rack = std::find_if(
+      candidates.begin(), candidates.end(), [&](DataNodeId candidate) {
+        return nodes_[candidate].rack != nodes_[source].rack;
+      });
+  const DataNodeId target =
+      off_rack != candidates.end() ? *off_rack
+                                   : candidates[rng_.index(candidates.size())];
+
+  nodes_[target].used += info.size;
+  net::TransferOptions options;
+  options.rate_cap = config_.rereplication_cap;
+  const Bytes size = info.size;
+  const auto route = net_.start_transfer(
+      nodes_[source].where, nodes_[target].where, size, options,
+      [this, id, target, size](const net::TransferCompletion&) {
+        if (!blocks_.contains(id)) {  // file deleted mid-copy
+          nodes_[target].used -= size;
+          return;
+        }
+        nodes_[target].disk->submit(size, [this, id, target, size] {
+          const auto block_it = blocks_.find(id);
+          if (block_it == blocks_.end()) {
+            nodes_[target].used -= size;
+            return;
+          }
+          block_it->second.replicas.push_back(target);
+          ++rereplications_;
+          // Keep going until the block is back at full strength.
+          schedule_rereplication(id);
+        });
+      });
+  LSDF_REQUIRE(route.is_ok(), "no route for re-replication");
+}
+
+void DfsCluster::move_replica(BlockId id, DataNodeId source,
+                              DataNodeId target,
+                              std::function<void(bool)> moved) {
+  const auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    moved(false);
+    return;
+  }
+  const Bytes size = it->second.size;
+  nodes_[target].used += size;
+  net::TransferOptions options;
+  options.rate_cap = config_.rereplication_cap;
+  const auto flow = net_.start_transfer(
+      nodes_[source].where, nodes_[target].where, size, options,
+      [this, id, source, target, size,
+       moved = std::move(moved)](const net::TransferCompletion&) {
+        const auto block_it = blocks_.find(id);
+        if (block_it == blocks_.end()) {  // deleted mid-copy
+          nodes_[target].used -= size;
+          moved(false);
+          return;
+        }
+        nodes_[target].disk->submit(size, [this, id, source, target, size,
+                                           moved = std::move(moved)] {
+          const auto block_it = blocks_.find(id);
+          if (block_it == blocks_.end()) {
+            nodes_[target].used -= size;
+            moved(false);
+            return;
+          }
+          auto& replicas = block_it->second.replicas;
+          const auto source_it =
+              std::find(replicas.begin(), replicas.end(), source);
+          if (source_it != replicas.end()) {
+            *source_it = target;
+            nodes_[source].used -= size;
+            moved(true);
+          } else {  // source replica vanished (e.g. node failed mid-move)
+            replicas.push_back(target);
+            moved(true);
+          }
+        });
+      });
+  if (!flow.is_ok()) {
+    nodes_[target].used -= size;
+    moved(false);
+  }
+}
+
+void DfsCluster::rebalance(double target_imbalance,
+                           std::function<void(int)> done) {
+  LSDF_REQUIRE(target_imbalance >= 0.0, "negative imbalance target");
+  balance_step(target_imbalance, std::make_shared<int>(0),
+               std::make_shared<std::function<void(int)>>(std::move(done)));
+}
+
+void DfsCluster::balance_step(double target_imbalance,
+                              std::shared_ptr<int> moves,
+                              std::shared_ptr<std::function<void(int)>> done) {
+  auto finish = [&] {
+    if (*done) (*done)(*moves);
+  };
+  if (imbalance() <= target_imbalance) {
+    finish();
+    return;
+  }
+  // Pick the fullest and emptiest live, non-draining nodes.
+  DataNodeId fullest = 0;
+  DataNodeId emptiest = 0;
+  bool any = false;
+  for (DataNodeId id = 0; id < nodes_.size(); ++id) {
+    const DataNode& node = nodes_[id];
+    if (!node.alive || node.draining) continue;
+    if (!any) {
+      fullest = emptiest = id;
+      any = true;
+      continue;
+    }
+    if (node.used > nodes_[fullest].used) fullest = id;
+    if (node.used < nodes_[emptiest].used) emptiest = id;
+  }
+  if (!any || fullest == emptiest) {
+    finish();
+    return;
+  }
+  // Find a block on `fullest` that is not already on `emptiest` and fits.
+  for (const auto& [block_id, info] : blocks_) {
+    const auto& replicas = info.replicas;
+    if (std::find(replicas.begin(), replicas.end(), fullest) ==
+        replicas.end()) {
+      continue;
+    }
+    if (std::find(replicas.begin(), replicas.end(), emptiest) !=
+        replicas.end()) {
+      continue;
+    }
+    if (nodes_[emptiest].used + info.size > config_.datanode_capacity) {
+      continue;
+    }
+    move_replica(block_id, fullest, emptiest,
+                 [this, target_imbalance, moves, done](bool ok) {
+                   if (ok) ++*moves;
+                   balance_step(target_imbalance, moves, done);
+                 });
+    return;  // continue after the asynchronous move
+  }
+  finish();  // nothing movable
+}
+
+Status DfsCluster::decommission_datanode(DataNodeId id,
+                                         std::function<void()> done) {
+  if (id >= nodes_.size()) return not_found("datanode");
+  DataNode& node = nodes_[id];
+  if (!node.alive) return failed_precondition("datanode is down");
+  if (node.draining) return failed_precondition("already draining");
+  node.draining = true;
+  drain_step(id,
+             std::make_shared<std::function<void()>>(std::move(done)));
+  return Status::ok();
+}
+
+void DfsCluster::drain_step(DataNodeId id,
+                            std::shared_ptr<std::function<void()>> done) {
+  // Find one replica still on the draining node and move it off.
+  for (const auto& [block_id, info] : blocks_) {
+    const auto& replicas = info.replicas;
+    if (std::find(replicas.begin(), replicas.end(), id) == replicas.end()) {
+      continue;
+    }
+    // Target: live, non-draining, not already a replica, with space —
+    // prefer keeping the rack spread.
+    std::vector<DataNodeId> candidates;
+    for (DataNodeId candidate = 0; candidate < nodes_.size(); ++candidate) {
+      const DataNode& node = nodes_[candidate];
+      if (!node.alive || node.draining) continue;
+      if (node.used + info.size > config_.datanode_capacity) continue;
+      if (std::find(replicas.begin(), replicas.end(), candidate) !=
+          replicas.end()) {
+        continue;
+      }
+      candidates.push_back(candidate);
+    }
+    if (candidates.empty()) {
+      // Stuck: no room anywhere. Leave the node draining; operators add
+      // capacity and re-issue the decommission in real deployments.
+      if (*done) (*done)();
+      return;
+    }
+    const DataNodeId target = candidates[rng_.index(candidates.size())];
+    move_replica(block_id, id, target, [this, id, done](bool) {
+      drain_step(id, done);
+    });
+    return;
+  }
+  // Nothing left: take the node out of service, still fully replicated.
+  nodes_[id].alive = false;
+  nodes_[id].draining = false;
+  nodes_[id].used = Bytes::zero();
+  if (*done) (*done)();
+}
+
+void DfsCluster::scrub(std::function<void(const ScrubReport&)> done) {
+  auto report = std::make_shared<ScrubReport>();
+  auto pending_nodes = std::make_shared<int>(0);
+  auto shared_done =
+      std::make_shared<std::function<void(const ScrubReport&)>>(
+          std::move(done));
+
+  // Snapshot each node's replicas up front; blocks deleted mid-scrub are
+  // simply skipped at verification time.
+  for (DataNodeId node = 0; node < nodes_.size(); ++node) {
+    if (!nodes_[node].alive) continue;
+    auto work = std::make_shared<std::vector<BlockId>>();
+    for (const auto& [block_id, info] : blocks_) {
+      if (std::find(info.replicas.begin(), info.replicas.end(), node) !=
+          info.replicas.end()) {
+        work->push_back(block_id);
+      }
+    }
+    ++*pending_nodes;
+    // Sequential per-node verification through the node's disk channel.
+    auto step = std::make_shared<std::function<void(std::size_t)>>();
+    *step = [this, node, work, step, report, pending_nodes, shared_done](
+                std::size_t index) {
+      if (index >= work->size()) {
+        simulator_.schedule_after(SimDuration::zero(),
+                                  [step] { *step = nullptr; });
+        if (--*pending_nodes == 0 && *shared_done) {
+          (*shared_done)(*report);
+        }
+        return;
+      }
+      const BlockId block_id = (*work)[index];
+      const auto it = blocks_.find(block_id);
+      if (it == blocks_.end() ||
+          std::find(it->second.replicas.begin(),
+                    it->second.replicas.end(),
+                    node) == it->second.replicas.end()) {
+        (*step)(index + 1);  // deleted or moved meanwhile
+        return;
+      }
+      const Bytes size = it->second.size;
+      nodes_[node].disk->submit(size, [this, node, block_id, size, report,
+                                       step, index] {
+        ++report->replicas_checked;
+        if (corrupted_.contains({block_id, node})) {
+          ++report->corrupt_found;
+          ++checksum_failures_;
+          const auto block_it = blocks_.find(block_id);
+          if (block_it != blocks_.end()) {
+            auto& replicas = block_it->second.replicas;
+            const auto bad =
+                std::find(replicas.begin(), replicas.end(), node);
+            if (bad != replicas.end()) {
+              replicas.erase(bad);
+              nodes_[node].used -= size;
+            }
+            corrupted_.erase({block_id, node});
+            schedule_rereplication(block_id);
+          }
+        }
+        (*step)(index + 1);
+      });
+    };
+    simulator_.schedule_after(SimDuration::zero(),
+                              [step] { (*step)(0); });
+  }
+  if (*pending_nodes == 0) {
+    simulator_.schedule_after(SimDuration::zero(),
+                              [report, shared_done] {
+                                if (*shared_done) (*shared_done)(*report);
+                              });
+  }
+}
+
+std::size_t DfsCluster::under_replicated_blocks() const {
+  std::size_t count = 0;
+  for (const auto& [id, info] : blocks_) {
+    const int want =
+        std::min<int>(config_.replication, static_cast<int>(nodes_.size()));
+    if (static_cast<int>(info.replicas.size()) < want) ++count;
+  }
+  return count;
+}
+
+double DfsCluster::imbalance() const {
+  double lo = 1.0;
+  double hi = 0.0;
+  bool any = false;
+  for (const DataNode& node : nodes_) {
+    if (!node.alive) continue;
+    const double fill =
+        node.used.as_double() / config_.datanode_capacity.as_double();
+    lo = std::min(lo, fill);
+    hi = std::max(hi, fill);
+    any = true;
+  }
+  return any ? hi - lo : 0.0;
+}
+
+}  // namespace lsdf::dfs

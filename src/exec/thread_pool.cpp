@@ -1,0 +1,139 @@
+#include "exec/thread_pool.h"
+
+#include "common/require.h"
+
+namespace lsdf::exec {
+
+thread_local std::size_t ThreadPool::current_worker_ =
+    ThreadPool::kNotAWorker;
+namespace {
+thread_local const ThreadPool* current_pool = nullptr;
+}
+
+ThreadPool::ThreadPool(unsigned thread_count) {
+  LSDF_REQUIRE(thread_count > 0, "thread pool needs at least one thread");
+  queues_.reserve(thread_count);
+  for (unsigned i = 0; i < thread_count; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(thread_count);
+  for (unsigned i = 0; i < thread_count; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stopping_.store(true);
+  {
+    const std::lock_guard lock(sleep_mutex_);
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(Task task) {
+  LSDF_REQUIRE(task != nullptr, "null task");
+  LSDF_REQUIRE(!stopping_.load(), "submit on a stopping pool");
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+
+  // Prefer the current worker's own queue (keeps task trees cache-local);
+  // external submitters round-robin.
+  std::size_t target;
+  if (current_pool == this && current_worker_ != kNotAWorker) {
+    target = current_worker_;
+  } else {
+    target =
+        next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  }
+  {
+    const std::lock_guard lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    // Empty critical section pairs with the waiters' predicate check so a
+    // notify cannot slip into the check-then-block window.
+    const std::lock_guard lock(sleep_mutex_);
+  }
+  work_available_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t index, Task& task) {
+  WorkerQueue& queue = *queues_[index];
+  const std::lock_guard lock(queue.mutex);
+  if (queue.tasks.empty()) return false;
+  task = std::move(queue.tasks.front());
+  queue.tasks.pop_front();
+  return true;
+}
+
+bool ThreadPool::try_steal(std::size_t thief, Task& task) {
+  for (std::size_t offset = 1; offset < queues_.size(); ++offset) {
+    const std::size_t victim = (thief + offset) % queues_.size();
+    WorkerQueue& queue = *queues_[victim];
+    const std::lock_guard lock(queue.mutex);
+    if (queue.tasks.empty()) continue;
+    // Steal from the back: the oldest work a busy victim is least likely
+    // to touch soon.
+    task = std::move(queue.tasks.back());
+    queue.tasks.pop_back();
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  current_worker_ = index;
+  current_pool = this;
+  Task task;
+  while (true) {
+    if (try_pop(index, task) || try_steal(index, task)) {
+      task();
+      task = nullptr;
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        {
+          const std::lock_guard lock(sleep_mutex_);
+        }
+        all_idle_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock lock(sleep_mutex_);
+    work_available_.wait(lock, [this, index] {
+      if (stopping_.load()) return true;
+      // Re-check queues under the sleep mutex: any submit after this check
+      // holds/held the mutex before notifying, so no wakeup is lost.
+      for (const auto& queue : queues_) {
+        const std::lock_guard qlock(queue->mutex);
+        if (!queue->tasks.empty()) return true;
+      }
+      (void)index;
+      return false;
+    });
+    if (stopping_.load()) {
+      // Drain remaining work before exiting so pending futures resolve.
+      lock.unlock();
+      while (try_pop(index, task) || try_steal(index, task)) {
+        task();
+        task = nullptr;
+        executed_.fetch_add(1, std::memory_order_relaxed);
+        if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          all_idle_.notify_all();
+        }
+      }
+      return;
+    }
+  }
+}
+
+void ThreadPool::wait_idle() {
+  LSDF_REQUIRE(current_pool != this,
+               "wait_idle() from inside a pool task would deadlock");
+  std::unique_lock lock(sleep_mutex_);
+  all_idle_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace lsdf::exec

@@ -1,0 +1,116 @@
+#include "ingest/pipeline.h"
+
+#include <memory>
+
+namespace lsdf::ingest {
+
+IngestPipeline::IngestPipeline(sim::Simulator& simulator,
+                               net::TransferEngine& net, adal::Adal& adal,
+                               meta::MetadataStore& store,
+                               IngestConfig config)
+    : simulator_(simulator),
+      net_(net),
+      adal_(adal),
+      store_(store),
+      config_(config),
+      slots_(simulator, config.parallel_slots, "ingest.slots") {
+  LSDF_REQUIRE(config_.checksum_rate.bps() > 0.0,
+               "checksum rate must be positive");
+}
+
+void IngestPipeline::finish(IngestReport report, IngestCallback done) {
+  report.completed = simulator_.now();
+  ++stats_.completed;
+  if (report.status.is_ok()) {
+    stats_.bytes_ingested += report.size;
+    stats_.latency_seconds.add(report.latency().seconds());
+  } else {
+    ++stats_.failed;
+  }
+  slots_.release(1);
+  if (done) done(report);
+}
+
+void IngestPipeline::submit(IngestItem item, IngestCallback done) {
+  ++stats_.submitted;
+  auto report = std::make_shared<IngestReport>();
+  report->submitted = simulator_.now();
+  report->size = item.size;
+
+  // Back-pressure: the DAQ must throttle rather than queue unboundedly.
+  if (config_.max_queue_depth > 0 &&
+      slots_.queue_length() >= config_.max_queue_depth) {
+    ++stats_.rejected;
+    report->status = resource_exhausted(
+        "ingest queue full (" + std::to_string(slots_.queue_length()) +
+        " waiting)");
+    simulator_.schedule_after(
+        SimDuration::zero(), [this, report, done = std::move(done)] {
+          report->completed = simulator_.now();
+          if (done) done(*report);
+        });
+    return;
+  }
+
+  auto shared_item = std::make_shared<IngestItem>(std::move(item));
+  auto shared_done = std::make_shared<IngestCallback>(std::move(done));
+
+  slots_.acquire(1, [this, shared_item, shared_done, report] {
+    // Stage 1: move the data from the experiment's DAQ node to the ingest
+    // head node over the facility backbone.
+    net::TransferOptions options;
+    options.efficiency = config_.network_efficiency;
+    options.weight = config_.network_weight;
+    const auto flow = net_.start_transfer(
+        shared_item->source, config_.ingest_node, shared_item->size, options,
+        [this, shared_item, shared_done,
+         report](const net::TransferCompletion&) {
+          // Stage 2: checksum the stream (CRC32C at the scan rate).
+          const SimDuration checksum_time =
+              transfer_time(shared_item->size, config_.checksum_rate);
+          simulator_.schedule_after(checksum_time, [this, shared_item,
+                                                    shared_done, report] {
+            const std::uint32_t checksum = crc32c(shared_item->project + "/" +
+                                                  shared_item->dataset_name);
+            // Stage 3: store the bytes through ADAL's logical namespace.
+            const std::string logical_path =
+                shared_item->project + "/" + shared_item->dataset_name;
+            report->uri = std::string("lsdf://") + adal::Adal::kLogical +
+                          "/" + logical_path;
+            adal_.write(
+                config_.credentials, report->uri, shared_item->size,
+                [this, shared_item, shared_done, report,
+                 checksum](const storage::IoResult& write_result) {
+                  if (!write_result.status.is_ok()) {
+                    report->status = write_result.status;
+                    finish(*report, *shared_done);
+                    return;
+                  }
+                  // Stage 4: register basic metadata (WORM record).
+                  meta::MetadataStore::Registration reg;
+                  reg.project = shared_item->project;
+                  reg.name = shared_item->dataset_name;
+                  reg.data_uri = report->uri;
+                  reg.size = shared_item->size;
+                  reg.checksum = checksum;
+                  reg.basic = std::move(shared_item->attributes);
+                  reg.now = simulator_.now();
+                  const auto id = store_.register_dataset(std::move(reg));
+                  if (!id.is_ok()) {
+                    report->status = id.status();
+                  } else {
+                    report->dataset = id.value();
+                    report->status = Status::ok();
+                  }
+                  finish(*report, *shared_done);
+                });
+          });
+        });
+    if (!flow.is_ok()) {
+      report->status = flow.status();
+      finish(*report, *shared_done);
+    }
+  });
+}
+
+}  // namespace lsdf::ingest

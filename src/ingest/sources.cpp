@@ -1,0 +1,127 @@
+#include "ingest/sources.h"
+
+#include <algorithm>
+
+namespace lsdf::ingest {
+
+ExperimentSource::ExperimentSource(sim::Simulator& simulator,
+                                   IngestPipeline& pipeline,
+                                   SourceConfig config, std::uint64_t seed)
+    : simulator_(simulator),
+      pipeline_(pipeline),
+      config_(std::move(config)),
+      rng_(seed) {
+  LSDF_REQUIRE(config_.items_per_day > 0.0, "source rate must be positive");
+  LSDF_REQUIRE(config_.mean_item_size > Bytes::zero(),
+               "item size must be positive");
+}
+
+SimDuration ExperimentSource::next_gap() {
+  const double mean_seconds = 86400.0 / config_.items_per_day;
+  const double seconds =
+      config_.poisson ? rng_.exponential(mean_seconds) : mean_seconds;
+  return SimDuration::from_seconds(seconds);
+}
+
+void ExperimentSource::start(SimTime start, SimTime until) {
+  LSDF_REQUIRE(!running_, "source already running");
+  running_ = true;
+  until_ = until;
+  pending_ = simulator_.schedule_at(start, [this] { emit_and_reschedule(); });
+}
+
+void ExperimentSource::stop() {
+  if (!running_) return;
+  simulator_.cancel(pending_);
+  running_ = false;
+}
+
+void ExperimentSource::emit_and_reschedule() {
+  if (!running_) return;
+
+  IngestItem item;
+  item.project = config_.project;
+  item.dataset_name =
+      config_.name_prefix + "-" + std::to_string(emitted_);
+  const double jittered = rng_.normal(
+      config_.mean_item_size.as_double(),
+      config_.mean_item_size.as_double() * config_.size_jitter);
+  item.size = Bytes(std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(jittered)));
+  item.source = config_.where;
+  item.attributes = config_.base_attributes;
+  item.attributes["sequence"] = emitted_;
+  item.attributes["acquired_day"] =
+      static_cast<std::int64_t>(simulator_.now().days());
+  if (!config_.wavelengths.empty()) {
+    item.attributes["wavelength"] = config_.wavelengths[static_cast<
+        std::size_t>(emitted_) % config_.wavelengths.size()];
+  }
+  ++emitted_;
+  bytes_ += item.size;
+  pipeline_.submit(std::move(item));
+
+  const SimTime next = simulator_.now() + next_gap();
+  if (next > until_) {
+    running_ = false;
+    return;
+  }
+  pending_ = simulator_.schedule_at(next, [this] { emit_and_reschedule(); });
+}
+
+SourceConfig htm_microscope_source(net::NodeId where,
+                                   double parameter_multiplier) {
+  SourceConfig config;
+  config.project = "zebrafish-htm";
+  config.name_prefix = "frame";
+  config.where = where;
+  config.items_per_day = 200000.0 * parameter_multiplier;  // slide 5
+  config.mean_item_size = 4_MB;                            // slide 4
+  config.size_jitter = 0.05;
+  config.base_attributes["instrument"] = std::string("htm-microscope");
+  config.base_attributes["organism"] = std::string("zebrafish");
+  config.wavelengths = {"405nm", "488nm", "561nm", "640nm"};
+  return config;
+}
+
+SourceConfig katrin_source(net::NodeId where) {
+  SourceConfig config;
+  config.project = "katrin";
+  config.name_prefix = "run";
+  config.where = where;
+  config.items_per_day = 144.0;  // one run file every 10 minutes
+  config.mean_item_size = 500_MB;
+  config.size_jitter = 0.2;
+  config.poisson = false;  // the spectrometer cycles on a fixed schedule
+  config.base_attributes["instrument"] = std::string("katrin-spectrometer");
+  config.base_attributes["domain"] = std::string("neutrino-physics");
+  return config;
+}
+
+SourceConfig climate_source(net::NodeId where) {
+  SourceConfig config;
+  config.project = "climate";
+  config.name_prefix = "bundle";
+  config.where = where;
+  config.items_per_day = 24.0;  // hourly model-output bundles
+  config.mean_item_size = 20_GB;
+  config.size_jitter = 0.3;
+  config.base_attributes["instrument"] = std::string("climate-model");
+  config.base_attributes["quality"] = std::string("archival");
+  return config;
+}
+
+SourceConfig anka_source(net::NodeId where) {
+  SourceConfig config;
+  config.project = "anka";
+  config.name_prefix = "scan";
+  config.where = where;
+  config.items_per_day = 2000.0;  // tomography frames during beamtime
+  config.mean_item_size = 16_MB;
+  config.size_jitter = 0.1;
+  config.base_attributes["instrument"] = std::string("anka-beamline");
+  config.base_attributes["domain"] = std::string("synchrotron");
+  return config;
+}
+
+}  // namespace lsdf::ingest

@@ -1,0 +1,66 @@
+// Job specification and result types for the simulated MapReduce engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace lsdf::mapreduce {
+
+using JobId = std::uint64_t;
+
+enum class SchedulerPolicy {
+  kLocalityAware,  // node-local > rack-local > remote (Hadoop's policy)
+  kRandom,         // ablation A1 baseline: ignore data placement
+};
+
+struct JobSpec {
+  std::string name = "job";
+  // Input file in the DFS; one map task per block.
+  std::string input_path;
+  // Per-slot map processing rate: how fast a map task chews through its
+  // block once the data is local (CPU + application I/O).
+  Rate map_rate = Rate::megabytes_per_second(50.0);
+  // Fraction of map input that becomes shuffle data.
+  double map_output_ratio = 0.1;
+  int reduce_tasks = 1;
+  Rate reduce_rate = Rate::megabytes_per_second(80.0);
+  // Fixed startup overhead per task (JVM spawn, task setup in Hadoop).
+  SimDuration task_overhead = 1_s;
+  SchedulerPolicy scheduler = SchedulerPolicy::kLocalityAware;
+  bool speculative_execution = true;
+  // A task is a straggler candidate when it has run longer than this factor
+  // times the median completed task duration.
+  double speculation_factor = 1.5;
+};
+
+struct JobResult {
+  JobId id = 0;
+  std::string name;
+  Status status;
+  SimTime submitted;
+  SimTime finished;
+  std::int64_t map_tasks = 0;
+  std::int64_t reduce_tasks = 0;
+  std::int64_t node_local_maps = 0;
+  std::int64_t rack_local_maps = 0;
+  std::int64_t remote_maps = 0;
+  std::int64_t speculative_launched = 0;
+  std::int64_t speculative_won = 0;
+  Bytes input_bytes;
+  Bytes shuffle_bytes;
+  [[nodiscard]] SimDuration duration() const { return finished - submitted; }
+  [[nodiscard]] double locality_fraction() const {
+    const auto total = node_local_maps + rack_local_maps + remote_maps;
+    return total == 0 ? 0.0
+                      : static_cast<double>(node_local_maps) /
+                            static_cast<double>(total);
+  }
+};
+
+using JobCallback = std::function<void(const JobResult&)>;
+
+}  // namespace lsdf::mapreduce

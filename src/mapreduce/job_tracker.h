@@ -1,0 +1,122 @@
+// JobTracker: the simulated Hadoop execution engine over the DFS cluster
+// (paper slide 11, "dedicated 60 nodes cluster / Hadoop environment").
+//
+// One map task per input block; tasks run in per-node slots; the scheduler
+// matches free slots to pending tasks by data locality (or randomly, for
+// the A1 ablation). After the map wave, each reduce task shuffles its
+// partition from every map node over the shared network, computes, and the
+// job completes. Stragglers (slow nodes) can be rescued by speculative
+// duplicates, exactly the Hadoop mechanism.
+//
+// Fidelity notes (documented substitutions):
+//  * shuffle begins when all maps finish (Hadoop overlaps; the barrier is
+//    conservative and preserves scaling shape);
+//  * map output lives on the mapper's node, as in Hadoop.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "dfs/dfs.h"
+#include "mapreduce/job.h"
+#include "sim/simulator.h"
+
+namespace lsdf::mapreduce {
+
+// How concurrent jobs share the cluster's task slots.
+enum class JobOrder {
+  kFifo,       // earlier-submitted jobs get every free slot first
+  kFairShare,  // free slots go to the job with the fewest running tasks
+};
+
+struct TrackerConfig {
+  int map_slots_per_node = 2;
+  int reduce_slots_per_node = 2;
+  JobOrder job_order = JobOrder::kFifo;
+  // Fraction of nodes that run slow (hardware heterogeneity), and by what
+  // factor. This is what makes speculative execution matter.
+  double straggler_fraction = 0.0;
+  double straggler_slowdown = 3.0;
+  std::uint64_t seed = 7;
+};
+
+class JobTracker {
+ public:
+  JobTracker(sim::Simulator& simulator, dfs::DfsCluster& dfs,
+             net::TransferEngine& net, TrackerConfig config);
+
+  // Submit a job; `done` fires when it completes (or fails fast when the
+  // input is missing).
+  JobId submit(const JobSpec& spec, JobCallback done);
+
+  [[nodiscard]] std::size_t running_jobs() const { return jobs_.size(); }
+  [[nodiscard]] double node_slowdown(dfs::DataNodeId node) const {
+    return slow_factor_.at(node);
+  }
+
+ private:
+  enum class Phase { kMapping, kShuffling, kDone };
+
+  struct Attempt {
+    dfs::DataNodeId node = 0;
+    SimTime started;
+    dfs::Locality locality = dfs::Locality::kRemote;
+  };
+
+  struct MapTask {
+    dfs::BlockId block = 0;
+    Bytes size;
+    bool completed = false;
+    bool speculating = false;  // a duplicate attempt was requested
+    std::vector<Attempt> attempts;
+  };
+
+  struct Job {
+    JobId id = 0;
+    JobSpec spec;
+    JobCallback done;
+    JobResult result;
+    Phase phase = Phase::kMapping;
+    std::vector<MapTask> maps;
+    std::deque<std::size_t> pending_maps;   // indices into `maps`
+    std::int64_t maps_remaining = 0;
+    std::int64_t pending_reduces = 0;
+    std::int64_t reduces_remaining = 0;
+    std::int64_t running_tasks = 0;  // attempts in flight (fair share)
+    std::vector<double> completed_map_seconds;  // for speculation median
+    std::vector<Bytes> map_output_at_node;      // indexed by datanode
+  };
+
+  void schedule();  // match free slots to pending work, all jobs
+  // Job ids in the order slots should be offered (per config_.job_order).
+  [[nodiscard]] std::vector<JobId> job_offer_order() const;
+  bool assign_map(Job& job, dfs::DataNodeId node, std::size_t task_index);
+  void run_map_attempt(JobId job_id, std::size_t task_index,
+                       dfs::DataNodeId node);
+  void map_attempt_finished(JobId job_id, std::size_t task_index,
+                            const Attempt& attempt);
+  void consider_speculation(Job& job);
+  void start_shuffle(Job& job);
+  void run_reduce(JobId job_id, dfs::DataNodeId node);
+  void finish_job(Job& job, Status status);
+
+  [[nodiscard]] int free_map_slots(dfs::DataNodeId node) const;
+  [[nodiscard]] int free_reduce_slots(dfs::DataNodeId node) const;
+
+  sim::Simulator& simulator_;
+  dfs::DfsCluster& dfs_;
+  net::TransferEngine& net_;
+  TrackerConfig config_;
+  Rng rng_;
+  std::map<JobId, Job> jobs_;
+  JobId next_id_ = 1;
+  std::vector<int> map_slots_in_use_;     // per datanode
+  std::vector<int> reduce_slots_in_use_;  // per datanode
+  std::vector<double> slow_factor_;       // per datanode
+};
+
+}  // namespace lsdf::mapreduce

@@ -1,0 +1,200 @@
+#include "meta/query_parser.h"
+
+#include <cctype>
+#include <charconv>
+#include <string>
+
+namespace lsdf::meta {
+namespace {
+
+// Hand-rolled tokenizer: identifiers/values, quoted strings, operators.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  struct Token {
+    enum class Kind { kWord, kString, kOperator, kColon, kEnd };
+    Kind kind = Kind::kEnd;
+    std::string text;
+    std::size_t position = 0;
+  };
+
+  [[nodiscard]] Result<Token> next() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    Token token;
+    token.position = pos_;
+    if (pos_ >= text_.size()) return token;  // kEnd
+
+    const char c = text_[pos_];
+    if (c == ':') {
+      ++pos_;
+      token.kind = Token::Kind::kColon;
+      token.text = ":";
+      return token;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const auto close = text_.find(quote, pos_ + 1);
+      if (close == std::string_view::npos) {
+        return error("unterminated string", pos_);
+      }
+      token.kind = Token::Kind::kString;
+      token.text = std::string(text_.substr(pos_ + 1, close - pos_ - 1));
+      pos_ = close + 1;
+      return token;
+    }
+    if (is_operator_char(c)) {
+      std::size_t end = pos_;
+      while (end < text_.size() && is_operator_char(text_[end])) ++end;
+      token.kind = Token::Kind::kOperator;
+      token.text = std::string(text_.substr(pos_, end - pos_));
+      pos_ = end;
+      return token;
+    }
+    // Bare word: identifier, number, keyword or unquoted value.
+    std::size_t end = pos_;
+    while (end < text_.size() && !is_delimiter(text_[end])) ++end;
+    token.kind = Token::Kind::kWord;
+    token.text = std::string(text_.substr(pos_, end - pos_));
+    pos_ = end;
+    return token;
+  }
+
+  [[nodiscard]] static Status error(const std::string& message,
+                                    std::size_t position) {
+    return invalid_argument(message + " at position " +
+                            std::to_string(position));
+  }
+
+ private:
+  static bool is_operator_char(char c) {
+    return c == '=' || c == '!' || c == '<' || c == '>' || c == '~' ||
+           c == '&';
+  }
+  static bool is_delimiter(char c) {
+    return std::isspace(static_cast<unsigned char>(c)) || c == ':' ||
+           is_operator_char(c) || c == '"' || c == '\'';
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Result<CompareOp> to_op(const std::string& text, std::size_t position) {
+  if (text == "=" || text == "==") return CompareOp::kEq;
+  if (text == "!=") return CompareOp::kNe;
+  if (text == "<") return CompareOp::kLt;
+  if (text == "<=") return CompareOp::kLe;
+  if (text == ">") return CompareOp::kGt;
+  if (text == ">=") return CompareOp::kGe;
+  if (text == "~") return CompareOp::kContains;
+  return Lexer::error("unknown operator `" + text + "`", position);
+}
+
+// Value literals: integers and floats become numbers, true/false become
+// booleans, everything else is a string.
+AttrValue to_value(const Lexer::Token& token) {
+  if (token.kind == Lexer::Token::Kind::kString) return token.text;
+  const std::string& text = token.text;
+  if (text == "true") return true;
+  if (text == "false") return false;
+  std::int64_t integer = 0;
+  auto [iptr, iec] =
+      std::from_chars(text.data(), text.data() + text.size(), integer);
+  if (iec == std::errc{} && iptr == text.data() + text.size()) {
+    return integer;
+  }
+  try {
+    std::size_t consumed = 0;
+    const double real = std::stod(text, &consumed);
+    if (consumed == text.size()) return real;
+  } catch (const std::exception&) {
+  }
+  return text;  // bare string
+}
+
+}  // namespace
+
+Result<Query> parse_query(std::string_view text) {
+  Lexer lexer(text);
+  Query query;
+  bool expect_clause = true;
+  while (true) {
+    LSDF_ASSIGN_OR_RETURN(Lexer::Token token, lexer.next());
+    if (token.kind == Lexer::Token::Kind::kEnd) {
+      if (expect_clause) {
+        return invalid_argument("empty query or trailing `and`");
+      }
+      return query;
+    }
+    if (!expect_clause) {
+      // Between clauses only `and` / `&&` is allowed.
+      if ((token.kind == Lexer::Token::Kind::kWord &&
+           token.text == "and") ||
+          (token.kind == Lexer::Token::Kind::kOperator &&
+           token.text == "&&")) {
+        expect_clause = true;
+        continue;
+      }
+      return Lexer::error("expected `and` between clauses, got `" +
+                              token.text + "`",
+                          token.position);
+    }
+    if (token.kind != Lexer::Token::Kind::kWord) {
+      return Lexer::error("expected an attribute or keyword, got `" +
+                              token.text + "`",
+                          token.position);
+    }
+
+    LSDF_ASSIGN_OR_RETURN(Lexer::Token second, lexer.next());
+    if (second.kind == Lexer::Token::Kind::kColon) {
+      LSDF_ASSIGN_OR_RETURN(Lexer::Token value, lexer.next());
+      if (value.kind != Lexer::Token::Kind::kWord &&
+          value.kind != Lexer::Token::Kind::kString) {
+        return Lexer::error("expected a value after `" + token.text + ":`",
+                            value.position);
+      }
+      if (token.text == "project") {
+        query.in_project(value.text);
+      } else if (token.text == "tag") {
+        query.with_tag(value.text);
+      } else if (token.text == "limit") {
+        std::int64_t limit = 0;
+        const auto [ptr, ec] = std::from_chars(
+            value.text.data(), value.text.data() + value.text.size(),
+            limit);
+        if (ec != std::errc{} ||
+            ptr != value.text.data() + value.text.size() || limit <= 0) {
+          return Lexer::error("limit needs a positive integer",
+                              value.position);
+        }
+        query.limit(static_cast<std::size_t>(limit));
+      } else {
+        return Lexer::error("unknown keyword `" + token.text +
+                                "` (project/tag/limit)",
+                            token.position);
+      }
+      expect_clause = false;
+      continue;
+    }
+    if (second.kind != Lexer::Token::Kind::kOperator) {
+      return Lexer::error("expected an operator after `" + token.text + "`",
+                          second.position);
+    }
+    LSDF_ASSIGN_OR_RETURN(const CompareOp op,
+                          to_op(second.text, second.position));
+    LSDF_ASSIGN_OR_RETURN(Lexer::Token value, lexer.next());
+    if (value.kind != Lexer::Token::Kind::kWord &&
+        value.kind != Lexer::Token::Kind::kString) {
+      return Lexer::error("expected a value after the operator",
+                          value.position);
+    }
+    query.where(token.text, op, to_value(value));
+    expect_clause = false;
+  }
+}
+
+}  // namespace lsdf::meta

@@ -1,0 +1,30 @@
+// Textual query language for the metadata catalogue — what a DataBrowser
+// user types into the search box (slide 9's "exploring the LSDF data").
+//
+// Grammar (conjunctive; whitespace-insensitive):
+//   query   := clause (("and" | "&&") clause)*
+//   clause  := "project" ":" ident
+//            | "tag" ":" ident
+//            | "limit" ":" integer
+//            | ident op value
+//   op      := "==" | "=" | "!=" | "<" | "<=" | ">" | ">=" | "~"   (~ = contains)
+//   value   := integer | float | "true" | "false" | quoted or bare string
+//
+// Examples:
+//   project:zebrafish-htm and wavelength = "488nm" and sequence < 100
+//   tag:golden and exposure_ms >= 10.5
+//   instrument ~ microscope and calibrated = true
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+#include "meta/query.h"
+
+namespace lsdf::meta {
+
+// Parses `text` into a Query. INVALID_ARGUMENT with a human-readable
+// message (including position) on syntax errors.
+[[nodiscard]] Result<Query> parse_query(std::string_view text);
+
+}  // namespace lsdf::meta

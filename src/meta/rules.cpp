@@ -1,0 +1,24 @@
+#include "meta/rules.h"
+
+#include <algorithm>
+
+namespace lsdf::meta {
+
+void RuleEngine::dispatch(const MetaEvent& event) {
+  // Fetch the record once; rules share it.
+  const auto record = store_.get(event.dataset);
+  if (!record.is_ok()) return;
+  for (const Rule& rule : rules_) {
+    if (rule.on != event.kind) continue;
+    if (rule.detail_equals && *rule.detail_equals != event.detail) continue;
+    const bool all_match = std::all_of(
+        rule.where.begin(), rule.where.end(), [&](const Predicate& p) {
+          return matches(p, record.value().basic);
+        });
+    if (!all_match) continue;
+    ++fired_;
+    if (rule.action) rule.action(record.value(), event);
+  }
+}
+
+}  // namespace lsdf::meta

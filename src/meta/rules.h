@@ -1,0 +1,51 @@
+// RuleEngine: iRODS-style data-management policies (paper slide 14,
+// "Data management system iRODS (ongoing)"). A rule binds an event kind and
+// an optional predicate on the dataset's basic metadata to an action; the
+// engine subscribes to the MetadataStore and fires matching rules.
+//
+// Typical facility policies expressed this way:
+//   on kRegistered where community == "katrin"  -> replicate to archive
+//   on kTagged("analysis-done")                 -> migrate raw data to tape
+//   on kAccessed                                -> refresh staging pin
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "meta/query.h"
+#include "meta/store.h"
+
+namespace lsdf::meta {
+
+struct Rule {
+  std::string name;
+  EventKind on = EventKind::kRegistered;
+  // Only fire when the event detail (tag / branch / result URI) equals this.
+  std::optional<std::string> detail_equals;
+  // Only fire when the dataset's basic metadata matches all predicates.
+  std::vector<Predicate> where;
+  std::function<void(const DatasetRecord&, const MetaEvent&)> action;
+};
+
+class RuleEngine {
+ public:
+  explicit RuleEngine(MetadataStore& store) : store_(store) {
+    store_.subscribe([this](const MetaEvent& event) { dispatch(event); });
+  }
+
+  void add_rule(Rule rule) { rules_.push_back(std::move(rule)); }
+
+  [[nodiscard]] std::size_t rule_count() const { return rules_.size(); }
+  [[nodiscard]] std::int64_t fired_count() const { return fired_; }
+
+ private:
+  void dispatch(const MetaEvent& event);
+
+  MetadataStore& store_;
+  std::vector<Rule> rules_;
+  std::int64_t fired_ = 0;
+};
+
+}  // namespace lsdf::meta

@@ -1,0 +1,94 @@
+// Core vocabulary of the metadata repository (paper slide 8).
+//
+// Experiment DATA is write-once-read-many and persistent; BASIC METADATA is
+// written once at ingest; each processing campaign adds an independent
+// METADATA branch (processing parameters + results) without ever mutating
+// the basic record. These types encode that model.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/units.h"
+
+namespace lsdf::meta {
+
+using DatasetId = std::uint64_t;
+using BranchId = std::uint64_t;
+
+// Typed attribute value. Projects define which attributes exist (schema);
+// values are strongly typed to keep queries meaningful.
+using AttrValue = std::variant<std::int64_t, double, bool, std::string>;
+
+enum class AttrType { kInt, kDouble, kBool, kString };
+
+[[nodiscard]] constexpr AttrType type_of(const AttrValue& value) {
+  switch (value.index()) {
+    case 0: return AttrType::kInt;
+    case 1: return AttrType::kDouble;
+    case 2: return AttrType::kBool;
+    default: return AttrType::kString;
+  }
+}
+
+[[nodiscard]] std::string to_display_string(const AttrValue& value);
+
+struct AttrDef {
+  std::string name;
+  AttrType type = AttrType::kString;
+  bool required = false;
+};
+
+// A project's metadata schema ("highly project-dependent", slide 8).
+struct Schema {
+  std::vector<AttrDef> attributes;
+  [[nodiscard]] const AttrDef* find(const std::string& name) const {
+    for (const auto& attr : attributes) {
+      if (attr.name == name) return &attr;
+    }
+    return nullptr;
+  }
+};
+
+using AttrMap = std::map<std::string, AttrValue>;
+
+// One processing campaign over a dataset: its parameters are written once
+// when the branch opens; results append as the workflow emits them.
+struct ProcessingBranch {
+  BranchId id = 0;
+  std::string name;          // e.g. "segmentation-v2"
+  AttrMap parameters;        // processing metadata (write-once)
+  std::vector<std::string> results;  // URIs of derived data
+  SimTime created;
+  bool closed = false;
+};
+
+// A registered dataset. `data_uri` points at the bytes via ADAL; everything
+// else is metadata. Basic metadata is immutable after registration.
+struct DatasetRecord {
+  DatasetId id = 0;
+  std::string project;
+  std::string name;
+  std::string data_uri;
+  Bytes size;
+  std::uint32_t checksum = 0;
+  AttrMap basic;             // write-once basic metadata
+  std::vector<std::string> tags;
+  std::vector<ProcessingBranch> branches;
+  SimTime registered;
+};
+
+// Events emitted by the store; the rule engine and workflow triggers listen.
+enum class EventKind { kRegistered, kTagged, kUntagged, kBranchOpened,
+                       kResultAppended, kAccessed };
+
+struct MetaEvent {
+  EventKind kind = EventKind::kRegistered;
+  DatasetId dataset = 0;
+  std::string detail;  // tag name, branch name, or result URI
+};
+
+}  // namespace lsdf::meta

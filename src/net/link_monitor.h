@@ -1,0 +1,70 @@
+// LinkMonitor: periodic sampling of per-link allocated bandwidth — the
+// backbone-utilisation view facility operators watch (and experiment E2's
+// network series).
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "net/topology.h"
+#include "net/transfer_engine.h"
+#include "sim/simulator.h"
+
+namespace lsdf::net {
+
+class LinkMonitor {
+ public:
+  LinkMonitor(sim::Simulator& simulator, const Topology& topology,
+              const TransferEngine& engine, SimDuration sample_period)
+      : topology_(topology),
+        engine_(engine),
+        sampler_(simulator, sample_period, [this] { sample(); }),
+        simulator_(simulator) {}
+
+  // Watch one direction of a link (pass the forward id for a->b).
+  void watch(LinkId link) { series_.try_emplace(link); }
+
+  void start() {
+    sample();
+    sampler_.start_at(simulator_.now() + 1_ns);
+  }
+  void stop() { sampler_.stop(); }
+  void sample() {
+    const SimTime now = simulator_.now();
+    for (auto& [link, series] : series_) {
+      series.record(now, engine_.link_load(link).bps());
+    }
+  }
+
+  [[nodiscard]] const TimeSeries& series(LinkId link) const {
+    return series_.at(link);
+  }
+  // Mean utilisation of a watched link over all samples, in [0, 1].
+  [[nodiscard]] double mean_utilization(LinkId link) const {
+    const TimeSeries& s = series_.at(link);
+    if (s.points().empty()) return 0.0;
+    double total = 0.0;
+    for (const auto& point : s.points()) total += point.value;
+    return total / static_cast<double>(s.points().size()) /
+           topology_.link(link).capacity.bps();
+  }
+  [[nodiscard]] double peak_utilization(LinkId link) const {
+    double peak = 0.0;
+    for (const auto& point : series_.at(link).points()) {
+      peak = std::max(peak, point.value);
+    }
+    return peak / topology_.link(link).capacity.bps();
+  }
+
+ private:
+  const Topology& topology_;
+  const TransferEngine& engine_;
+  sim::PeriodicTask sampler_;
+  sim::Simulator& simulator_;
+  std::map<LinkId, TimeSeries> series_;
+};
+
+}  // namespace lsdf::net

@@ -1,0 +1,267 @@
+#include "net/transfer_engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "common/require.h"
+
+namespace lsdf::net {
+namespace {
+// Flows whose remainder drops below this are considered delivered; avoids
+// infinite event chains from floating-point residue.
+constexpr double kEpsilonBytes = 1e-6;
+}  // namespace
+
+Result<FlowId> TransferEngine::start_transfer(NodeId src, NodeId dst,
+                                              Bytes size,
+                                              const TransferOptions& options,
+                                              CompletionCallback on_complete) {
+  LSDF_REQUIRE(size >= Bytes::zero(), "negative transfer size");
+  LSDF_REQUIRE(options.efficiency > 0.0 && options.efficiency <= 1.0,
+               "protocol efficiency must be in (0, 1]");
+  LSDF_REQUIRE(options.weight > 0.0, "flow weight must be positive");
+  LSDF_ASSIGN_OR_RETURN(std::vector<LinkId> path,
+                        topology_.route(src, dst));
+  const FlowId id = next_id_++;
+
+  // Same-node "transfers" (e.g. a copy within one storage system) have no
+  // network component; complete immediately.
+  if (path.empty() || size == Bytes::zero()) {
+    const SimTime started = simulator_.now();
+    simulator_.schedule_after(
+        SimDuration::zero(),
+        [this, id, size, started, cb = std::move(on_complete)] {
+          if (cb) cb(TransferCompletion{id, size, started, simulator_.now()});
+        });
+    return id;
+  }
+
+  const SimDuration latency = topology_.path_latency(path);
+  const SimTime started = simulator_.now();
+  // The flow joins the allocation after one path latency (connection setup
+  // and first-byte propagation).
+  simulator_.schedule_after(
+      latency, [this, id, src, dst, size, started, path = std::move(path),
+                options, cb = std::move(on_complete)]() mutable {
+        advance_progress();
+        Flow flow;
+        flow.id = id;
+        flow.src = src;
+        flow.dst = dst;
+        flow.path = std::move(path);
+        flow.wire_bytes_remaining = size.as_double() / options.efficiency;
+        flow.cap_bps = options.rate_cap.bps();
+        flow.weight = options.weight;
+        flow.size = size;
+        flow.started = started;
+        flow.on_complete = std::move(cb);
+        flows_.emplace(id, std::move(flow));
+        reallocate();
+      });
+  return id;
+}
+
+bool TransferEngine::cancel(FlowId id) {
+  advance_progress();
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  flows_.erase(it);
+  reallocate();
+  return true;
+}
+
+Rate TransferEngine::link_load(LinkId id) const {
+  double total = 0.0;
+  for (const auto& [flow_id, flow] : flows_) {
+    if (std::find(flow.path.begin(), flow.path.end(), id) !=
+        flow.path.end()) {
+      total += flow.rate_bps;
+    }
+  }
+  return Rate::bytes_per_second(total);
+}
+
+Rate TransferEngine::flow_rate(FlowId id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? Rate::zero()
+                            : Rate::bytes_per_second(it->second.rate_bps);
+}
+
+void TransferEngine::advance_progress() {
+  const SimDuration elapsed = simulator_.now() - last_update_;
+  last_update_ = simulator_.now();
+  if (elapsed <= SimDuration::zero() || flows_.empty()) return;
+  std::vector<Flow> finished;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    Flow& flow = it->second;
+    flow.wire_bytes_remaining -= flow.rate_bps * elapsed.seconds();
+    if (flow.wire_bytes_remaining <= kEpsilonBytes) {
+      finished.push_back(std::move(flow));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (Flow& flow : finished) complete_flow(std::move(flow));
+}
+
+void TransferEngine::complete_flow(Flow flow) {
+  if (flow.on_complete) {
+    flow.on_complete(
+        TransferCompletion{flow.id, flow.size, flow.started,
+                           simulator_.now()});
+  }
+}
+
+void TransferEngine::resync() {
+  advance_progress();
+  reallocate();
+}
+
+std::size_t TransferEngine::stalled_flows() const {
+  std::size_t count = 0;
+  for (const auto& [id, flow] : flows_) {
+    if (flow.stalled) ++count;
+  }
+  return count;
+}
+
+void TransferEngine::repath_flows() {
+  seen_topology_version_ = topology_.state_version();
+  for (auto& [id, flow] : flows_) {
+    // A flow needs a new path if its current one crosses a down link, or
+    // if it is stalled and a route may have come back.
+    bool broken = flow.stalled;
+    for (const LinkId link : flow.path) {
+      if (!topology_.link_up(link)) {
+        broken = true;
+        break;
+      }
+    }
+    if (!broken) continue;
+    auto rerouted = topology_.route(flow.src, flow.dst);
+    if (rerouted.is_ok()) {
+      flow.path = std::move(rerouted).take();
+      flow.stalled = false;
+    } else {
+      flow.stalled = true;
+      flow.rate_bps = 0.0;
+    }
+  }
+}
+
+void TransferEngine::reallocate() {
+  if (completion_scheduled_) {
+    simulator_.cancel(pending_completion_);
+    completion_scheduled_ = false;
+  }
+  if (flows_.empty()) return;
+  if (seen_topology_version_ != topology_.state_version()) repath_flows();
+
+  // Progressive filling (weighted water-filling) with per-flow caps:
+  // repeatedly find the binding constraint — either the tightest link's
+  // per-unit-weight share or the smallest unfrozen cap-to-weight ratio —
+  // freeze the flows it binds, and subtract their rates from their links.
+  // A flow's rate is (per-unit share) x (its weight): QoS classes.
+  std::unordered_map<LinkId, double> remaining;        // capacity left
+  std::unordered_map<LinkId, double> unfrozen_weight;  // weight on link
+  for (const auto& [id, flow] : flows_) {
+    if (flow.stalled) continue;
+    for (const LinkId link : flow.path) {
+      remaining.try_emplace(link, topology_.link(link).capacity.bps());
+      unfrozen_weight[link] += flow.weight;
+    }
+  }
+
+  std::vector<Flow*> unfrozen;
+  unfrozen.reserve(flows_.size());
+  for (auto& [id, flow] : flows_) {
+    if (flow.stalled) continue;
+    flow.rate_bps = 0.0;
+    unfrozen.push_back(&flow);
+  }
+
+  while (!unfrozen.empty()) {
+    // Tightest per-unit-weight share among links carrying unfrozen flows.
+    double unit_share = std::numeric_limits<double>::infinity();
+    for (const auto& [link, weight] : unfrozen_weight) {
+      if (weight > 0.0) {
+        unit_share = std::min(unit_share, remaining[link] / weight);
+      }
+    }
+    // Smallest cap-to-weight ratio among unfrozen capped flows.
+    double min_cap_unit = std::numeric_limits<double>::infinity();
+    for (const Flow* flow : unfrozen) {
+      if (flow->cap_bps > 0.0) {
+        min_cap_unit = std::min(min_cap_unit, flow->cap_bps / flow->weight);
+      }
+    }
+
+    std::vector<Flow*> next_round;
+    next_round.reserve(unfrozen.size());
+    if (min_cap_unit < unit_share) {
+      // Cap-bound flows freeze at their cap.
+      for (Flow* flow : unfrozen) {
+        if (flow->cap_bps > 0.0 &&
+            flow->cap_bps / flow->weight <= min_cap_unit) {
+          flow->rate_bps = flow->cap_bps;
+          for (const LinkId link : flow->path) {
+            remaining[link] -= flow->rate_bps;
+            unfrozen_weight[link] -= flow->weight;
+          }
+        } else {
+          next_round.push_back(flow);
+        }
+      }
+    } else {
+      // Flows crossing a bottleneck link freeze at weight x unit share.
+      constexpr double kSlack = 1.0 + 1e-12;
+      for (Flow* flow : unfrozen) {
+        bool bottlenecked = false;
+        for (const LinkId link : flow->path) {
+          if (remaining[link] / unfrozen_weight[link] <=
+              unit_share * kSlack) {
+            bottlenecked = true;
+            break;
+          }
+        }
+        if (bottlenecked) flow->rate_bps = unit_share * flow->weight;
+      }
+      for (Flow* flow : unfrozen) {
+        if (flow->rate_bps > 0.0) {
+          for (const LinkId link : flow->path) {
+            remaining[link] -= flow->rate_bps;
+            unfrozen_weight[link] -= flow->weight;
+          }
+        } else {
+          next_round.push_back(flow);
+        }
+      }
+    }
+    LSDF_REQUIRE(next_round.size() < unfrozen.size(),
+                 "max-min allocation failed to make progress");
+    unfrozen = std::move(next_round);
+  }
+
+  // Earliest completion among the newly allocated flows. Stalled flows
+  // (no route) sit at rate zero until a resync finds them a path.
+  double min_seconds = std::numeric_limits<double>::infinity();
+  for (const auto& [id, flow] : flows_) {
+    if (flow.stalled) continue;
+    LSDF_REQUIRE(flow.rate_bps > 0.0, "allocated flow has zero rate");
+    min_seconds =
+        std::min(min_seconds, flow.wire_bytes_remaining / flow.rate_bps);
+  }
+  if (min_seconds == std::numeric_limits<double>::infinity()) return;
+  pending_completion_ = simulator_.schedule_after(
+      SimDuration::from_seconds(min_seconds) + SimDuration(1),
+      [this] {
+        completion_scheduled_ = false;
+        advance_progress();
+        reallocate();
+      });
+  completion_scheduled_ = true;
+}
+
+}  // namespace lsdf::net

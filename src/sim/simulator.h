@@ -1,0 +1,160 @@
+// Discrete-event simulation kernel.
+//
+// Every time-dependent model in the facility (disk arrays, tape robots,
+// network flows, MapReduce tasks, VM boots, experiment data sources) runs on
+// one Simulator. The kernel is deliberately single-threaded: determinism is
+// a design requirement (DESIGN.md §5), so events at equal timestamps execute
+// in scheduling order (FIFO tie-break by sequence number).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/require.h"
+#include "common/units.h"
+
+namespace lsdf::sim {
+
+// Handle for a scheduled event; usable to cancel it before it fires.
+struct EventId {
+  std::uint64_t value = 0;
+  friend bool operator==(EventId, EventId) = default;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // Schedule `callback` at absolute simulated time `t` (>= now()).
+  EventId schedule_at(SimTime t, Callback callback);
+
+  // Schedule `callback` after `delay` (>= 0).
+  EventId schedule_after(SimDuration delay, Callback callback) {
+    return schedule_at(now_ + delay, std::move(callback));
+  }
+
+  // Cancel a pending event. Returns false if it already fired or was
+  // cancelled before.
+  bool cancel(EventId id);
+
+  // Execute the next pending event, advancing the clock to its timestamp.
+  // Returns false when no events remain.
+  bool step();
+
+  // Run until the event queue drains. Returns the number of events executed.
+  std::size_t run();
+
+  // Run all events with timestamp <= `deadline`, then advance the clock to
+  // `deadline` (even if the queue is non-empty or drained earlier).
+  std::size_t run_until(SimTime deadline);
+
+  // Run until `pred()` becomes true (checked after each event) or the queue
+  // drains; returns whether the predicate was satisfied.
+  bool run_while_pending(const std::function<bool()>& done);
+
+  [[nodiscard]] std::size_t pending_events() const { return live_events_; }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct QueueEntry {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint64_t id;
+    // Min-heap on (time, seq): earlier time first, FIFO within a timestamp.
+    friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops cancelled entries; returns whether a live event is at the top.
+  bool settle_top();
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t live_events_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+// A counted resource with a FIFO wait queue — e.g. tape drives, ingest
+// slots, cloud host cores. Callers request units and receive a callback
+// when granted; RAII is intentionally not used because grants cross event
+// boundaries (the holder releases explicitly when its modelled work ends).
+class Resource {
+ public:
+  Resource(Simulator& simulator, std::int64_t capacity, std::string name)
+      : simulator_(simulator), capacity_(capacity), name_(std::move(name)) {
+    LSDF_REQUIRE(capacity > 0, "resource capacity must be positive");
+  }
+
+  // Request `units`; `granted` fires (as a scheduled event at the grant
+  // time) once they are available. Requests are served strictly FIFO.
+  void acquire(std::int64_t units, Simulator::Callback granted);
+
+  // Return `units` previously granted.
+  void release(std::int64_t units);
+
+  [[nodiscard]] std::int64_t capacity() const { return capacity_; }
+  [[nodiscard]] std::int64_t in_use() const { return in_use_; }
+  [[nodiscard]] std::int64_t available() const { return capacity_ - in_use_; }
+  [[nodiscard]] std::size_t queue_length() const { return waiters_.size(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  struct Waiter {
+    std::int64_t units;
+    Simulator::Callback granted;
+  };
+
+  void pump();
+
+  Simulator& simulator_;
+  std::int64_t capacity_;
+  std::int64_t in_use_ = 0;
+  std::string name_;
+  std::deque<Waiter> waiters_;
+};
+
+// Fires `tick` every `period`, starting at `start`, until cancelled or the
+// optional `end` is reached. Used by experiment data sources.
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulator& simulator, SimDuration period,
+               Simulator::Callback tick)
+      : simulator_(simulator), period_(period), tick_(std::move(tick)) {
+    LSDF_REQUIRE(period > SimDuration::zero(),
+                 "periodic task period must be positive");
+  }
+
+  void start_at(SimTime first_fire, SimTime end = SimTime::max());
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  void fire();
+
+  Simulator& simulator_;
+  SimDuration period_;
+  Simulator::Callback tick_;
+  SimTime end_ = SimTime::max();
+  EventId pending_{};
+  bool running_ = false;
+};
+
+}  // namespace lsdf::sim

@@ -1,0 +1,227 @@
+#include "storage/hsm_store.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace lsdf::storage {
+
+HsmStore::HsmStore(sim::Simulator& simulator, DiskArray& cache,
+                   TapeLibrary& tape, HsmConfig config)
+    : simulator_(simulator),
+      cache_(cache),
+      tape_(tape),
+      config_(config),
+      scanner_(simulator, config.scan_period, [this] { scan(); }) {
+  LSDF_REQUIRE(config_.low_watermark <= config_.high_watermark,
+               "low watermark above high watermark");
+  LSDF_REQUIRE(config_.high_watermark <= 1.0, "watermark above 1.0");
+}
+
+void HsmStore::start() {
+  scanner_.start_at(simulator_.now() + config_.scan_period);
+}
+
+void HsmStore::stop() { scanner_.stop(); }
+
+void HsmStore::fail(IoCallback done, Status status, Bytes size) {
+  const SimTime now = simulator_.now();
+  simulator_.schedule_after(
+      SimDuration::zero(),
+      [this, done = std::move(done), status = std::move(status), size, now] {
+        if (done) done(IoResult{status, now, simulator_.now(), size});
+      });
+}
+
+void HsmStore::put(const std::string& object, Bytes size, IoCallback done) {
+  if (objects_.contains(object)) {
+    fail(std::move(done), already_exists(object), size);
+    return;
+  }
+  // Make room below the high watermark if a simple eviction pass can.
+  if ((cache_.used() + size).as_double() >
+      config_.high_watermark * cache_.capacity().as_double()) {
+    evict_until_low_watermark();
+  }
+  const Status reserved = cache_.reserve(size);
+  if (!reserved.is_ok()) {
+    fail(std::move(done), reserved, size);
+    return;
+  }
+  Entry entry;
+  entry.size = size;
+  entry.disk_resident = true;
+  entry.last_access = simulator_.now();
+  objects_.emplace(object, entry);
+  cache_.write(size, std::move(done));
+}
+
+void HsmStore::get(const std::string& object, IoCallback done) {
+  const auto it = objects_.find(object);
+  if (it == objects_.end()) {
+    fail(std::move(done), not_found(object), Bytes::zero());
+    return;
+  }
+  it->second.last_access = simulator_.now();
+  if (it->second.disk_resident) {
+    ++stats_.disk_hits;
+    cache_.read(it->second.size, std::move(done));
+    return;
+  }
+  stage_then_read(object, std::move(done));
+}
+
+Status HsmStore::forget(const std::string& object) {
+  const auto it = objects_.find(object);
+  if (it == objects_.end()) return not_found(object);
+  if (it->second.migrating || it->second.staging) {
+    return failed_precondition(object + " has I/O in flight");
+  }
+  if (it->second.disk_resident) cache_.release(it->second.size);
+  if (it->second.tape_resident) {
+    // Tape space becomes dead; TapeLibrary::compact() reclaims it later.
+    (void)tape_.forget(object);
+  }
+  objects_.erase(it);
+  return Status::ok();
+}
+
+bool HsmStore::on_disk(const std::string& object) const {
+  const auto it = objects_.find(object);
+  return it != objects_.end() && it->second.disk_resident;
+}
+
+Result<Bytes> HsmStore::size_of(const std::string& object) const {
+  const auto it = objects_.find(object);
+  if (it == objects_.end()) return not_found(object);
+  return it->second.size;
+}
+
+std::vector<std::string> HsmStore::object_names() const {
+  std::vector<std::string> names;
+  names.reserve(objects_.size());
+  for (const auto& [name, entry] : objects_) names.push_back(name);
+  return names;
+}
+
+bool HsmStore::on_tape(const std::string& object) const {
+  const auto it = objects_.find(object);
+  return it != objects_.end() && it->second.tape_resident;
+}
+
+void HsmStore::scan() {
+  // Phase 1: copy cold disk-only objects to tape.
+  const SimTime now = simulator_.now();
+  for (auto& [name, entry] : objects_) {
+    if (entry.disk_resident && !entry.tape_resident && !entry.migrating &&
+        now - entry.last_access >= config_.migrate_after) {
+      migrate(name, entry);
+    }
+  }
+  // Phase 2: relieve cache pressure.
+  if (cache_.fill_fraction() > config_.high_watermark) {
+    evict_until_low_watermark();
+  }
+}
+
+void HsmStore::migrate(const std::string& object, Entry& entry) {
+  entry.migrating = true;
+  // Read from disk and stream to tape. The disk read and tape write overlap
+  // in a real mover; we model the tape write (the slower, gating phase).
+  tape_.archive(object, entry.size, [this, object](const TapeResult& result) {
+    const auto it = objects_.find(object);
+    if (it == objects_.end()) return;  // forgotten mid-flight
+    it->second.migrating = false;
+    if (result.status.is_ok()) {
+      it->second.tape_resident = true;
+      ++stats_.migrations;
+      stats_.bytes_migrated += result.size;
+    }
+  });
+}
+
+void HsmStore::evict_until_low_watermark() {
+  // Candidates: disk-resident objects that already have a tape copy and no
+  // I/O in flight.
+  std::vector<std::pair<std::string, const Entry*>> candidates;
+  for (const auto& [name, entry] : objects_) {
+    if (entry.disk_resident && entry.tape_resident && !entry.migrating &&
+        !entry.staging) {
+      candidates.emplace_back(name, &entry);
+    }
+  }
+  switch (config_.eviction) {
+    case EvictionPolicy::kLeastRecentlyUsed:
+      std::sort(candidates.begin(), candidates.end(),
+                [](const auto& a, const auto& b) {
+                  return a.second->last_access < b.second->last_access;
+                });
+      break;
+    case EvictionPolicy::kLargestFirst:
+      std::sort(candidates.begin(), candidates.end(),
+                [](const auto& a, const auto& b) {
+                  return a.second->size > b.second->size;
+                });
+      break;
+  }
+  const double target =
+      config_.low_watermark * cache_.capacity().as_double();
+  for (const auto& [name, entry_ptr] : candidates) {
+    if (cache_.used().as_double() <= target) break;
+    Entry& entry = objects_.at(name);
+    entry.disk_resident = false;
+    cache_.release(entry.size);
+    ++stats_.evictions;
+  }
+}
+
+void HsmStore::stage_then_read(const std::string& object, IoCallback done) {
+  // The caller's latency spans staging + the final disk read; rebase the
+  // reported start time accordingly.
+  const SimTime request_start = simulator_.now();
+  done = [request_start, done = std::move(done)](storage::IoResult result) {
+    result.started = request_start;
+    if (done) done(result);
+  };
+  Entry& entry = objects_.at(object);
+  LSDF_REQUIRE(entry.tape_resident, object + " resides nowhere");
+  if ((cache_.used() + entry.size).as_double() >
+      config_.high_watermark * cache_.capacity().as_double()) {
+    evict_until_low_watermark();
+  }
+  const Status reserved = cache_.reserve(entry.size);
+  if (!reserved.is_ok()) {
+    // Cache full of unevictable data: serve directly from tape.
+    ++stats_.tape_direct_reads;
+    tape_.recall(object, [done = std::move(done)](const TapeResult& result) {
+      if (done) {
+        done(IoResult{result.status, result.started, result.finished,
+                      result.size});
+      }
+    });
+    return;
+  }
+  entry.staging = true;
+  ++stats_.tape_stages;
+  tape_.recall(object, [this, object, done = std::move(done)](
+                           const TapeResult& result) mutable {
+    const auto it = objects_.find(object);
+    if (it == objects_.end()) return;
+    Entry& staged = it->second;
+    staged.staging = false;
+    if (!result.status.is_ok()) {
+      cache_.release(staged.size);
+      if (done) {
+        done(IoResult{result.status, result.started, result.finished,
+                      result.size});
+      }
+      return;
+    }
+    staged.disk_resident = true;
+    staged.last_access = simulator_.now();
+    stats_.bytes_staged += result.size;
+    // The staged copy is now on disk; the caller's read streams from disk.
+    cache_.read(staged.size, std::move(done));
+  });
+}
+
+}  // namespace lsdf::storage

@@ -1,0 +1,109 @@
+// HsmStore: hierarchical storage management combining a disk cache and the
+// tape library. New data lands on disk; a migration policy copies cold data
+// to tape; watermark-driven eviction drops disk copies of migrated objects;
+// reads of tape-only objects are staged back to disk. This is the archive
+// behaviour the facility provides under ADAL (paper slides 7/9).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+#include "storage/disk_array.h"
+#include "storage/tape_library.h"
+
+namespace lsdf::storage {
+
+enum class EvictionPolicy {
+  kLeastRecentlyUsed,  // evict the coldest object first
+  kLargestFirst,       // evict the biggest object first (fewest evictions)
+};
+
+struct HsmConfig {
+  // Copy objects to tape once they have been idle this long.
+  SimDuration migrate_after = 1_h;
+  // Start evicting migrated disk copies above this fill fraction...
+  double high_watermark = 0.85;
+  // ...until below this one.
+  double low_watermark = 0.70;
+  // How often the migration/eviction scan runs.
+  SimDuration scan_period = 5_min;
+  EvictionPolicy eviction = EvictionPolicy::kLeastRecentlyUsed;
+};
+
+struct HsmStats {
+  std::int64_t disk_hits = 0;
+  std::int64_t tape_stages = 0;
+  // Reads served straight from tape because the cache had no evictable
+  // room for a staged copy.
+  std::int64_t tape_direct_reads = 0;
+  std::int64_t migrations = 0;
+  std::int64_t evictions = 0;
+  Bytes bytes_migrated;
+  Bytes bytes_staged;
+};
+
+class HsmStore {
+ public:
+  HsmStore(sim::Simulator& simulator, DiskArray& cache, TapeLibrary& tape,
+           HsmConfig config);
+
+  // Start the periodic migration/eviction scan.
+  void start();
+  void stop();
+
+  // Store a new object (fails ALREADY_EXISTS / RESOURCE_EXHAUSTED).
+  void put(const std::string& object, Bytes size, IoCallback done);
+
+  // Retrieve an object: disk hit, or tape stage + disk hit.
+  void get(const std::string& object, IoCallback done);
+
+  // Drop an object everywhere (disk copy freed; tape copy is append-only
+  // and simply forgotten, as real tape reclamation is offline).
+  [[nodiscard]] Status forget(const std::string& object);
+
+  [[nodiscard]] bool contains(const std::string& object) const {
+    return objects_.contains(object);
+  }
+  [[nodiscard]] bool on_disk(const std::string& object) const;
+  [[nodiscard]] bool on_tape(const std::string& object) const;
+  [[nodiscard]] Result<Bytes> size_of(const std::string& object) const;
+  [[nodiscard]] std::vector<std::string> object_names() const;
+  [[nodiscard]] std::size_t object_count() const { return objects_.size(); }
+  [[nodiscard]] const HsmStats& stats() const { return stats_; }
+  [[nodiscard]] DiskArray& cache() { return cache_; }
+  [[nodiscard]] TapeLibrary& tape() { return tape_; }
+
+  // One synchronous policy scan (also called by the periodic task).
+  void scan();
+
+ private:
+  struct Entry {
+    Bytes size;
+    bool disk_resident = false;
+    bool tape_resident = false;
+    bool migrating = false;
+    bool staging = false;
+    SimTime last_access;
+  };
+
+  void migrate(const std::string& object, Entry& entry);
+  void evict_until_low_watermark();
+  void stage_then_read(const std::string& object, IoCallback done);
+  void fail(IoCallback done, Status status, Bytes size);
+
+  sim::Simulator& simulator_;
+  DiskArray& cache_;
+  TapeLibrary& tape_;
+  HsmConfig config_;
+  sim::PeriodicTask scanner_;
+  std::map<std::string, Entry> objects_;
+  HsmStats stats_;
+};
+
+}  // namespace lsdf::storage

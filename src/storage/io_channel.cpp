@@ -1,0 +1,92 @@
+#include "storage/io_channel.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace lsdf::storage {
+namespace {
+constexpr double kEpsilonBytes = 1e-6;
+}
+
+OpId FairChannel::submit(Bytes size, Callback done) {
+  LSDF_REQUIRE(size >= Bytes::zero(), "negative op size");
+  advance_progress();
+  const OpId id = next_id_++;
+  Op op;
+  op.remaining = size.as_double();
+  op.done = std::move(done);
+  ops_.emplace(id, std::move(op));
+  reallocate();
+  return id;
+}
+
+bool FairChannel::cancel(OpId id) {
+  advance_progress();
+  const bool erased = ops_.erase(id) > 0;
+  if (erased) reallocate();
+  return erased;
+}
+
+Rate FairChannel::load() const {
+  double total = 0.0;
+  for (const auto& [id, op] : ops_) total += op.rate_bps;
+  return Rate::bytes_per_second(total);
+}
+
+void FairChannel::set_degradation(double factor) {
+  LSDF_REQUIRE(factor > 0.0 && factor <= 1.0,
+               "degradation factor must be in (0, 1]");
+  advance_progress();
+  degradation_ = factor;
+  reallocate();
+}
+
+void FairChannel::advance_progress() {
+  const SimDuration elapsed = simulator_.now() - last_update_;
+  last_update_ = simulator_.now();
+  if (elapsed <= SimDuration::zero() || ops_.empty()) return;
+  std::vector<Callback> finished;
+  for (auto it = ops_.begin(); it != ops_.end();) {
+    Op& op = it->second;
+    op.remaining -= op.rate_bps * elapsed.seconds();
+    if (op.remaining <= kEpsilonBytes) {
+      finished.push_back(std::move(op.done));
+      it = ops_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (Callback& done : finished) {
+    if (done) done();
+  }
+}
+
+void FairChannel::reallocate() {
+  if (scheduled_) {
+    simulator_.cancel(pending_);
+    scheduled_ = false;
+  }
+  if (ops_.empty()) return;
+
+  // Equal split with a uniform cap: everyone gets
+  // min(cap, effective_capacity / n).
+  const double effective = capacity_bps_ * degradation_;
+  double share = effective / static_cast<double>(ops_.size());
+  if (per_op_cap_bps_ > 0.0) share = std::min(share, per_op_cap_bps_);
+
+  double min_seconds = std::numeric_limits<double>::infinity();
+  for (auto& [id, op] : ops_) {
+    op.rate_bps = share;
+    min_seconds = std::min(min_seconds, op.remaining / share);
+  }
+  pending_ = simulator_.schedule_after(
+      SimDuration::from_seconds(min_seconds) + SimDuration(1), [this] {
+        scheduled_ = false;
+        advance_progress();
+        reallocate();
+      });
+  scheduled_ = true;
+}
+
+}  // namespace lsdf::storage

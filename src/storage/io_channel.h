@@ -1,0 +1,67 @@
+// FairChannel: a single shared bandwidth resource (a disk-array controller,
+// a datanode's disks) whose concurrent operations split capacity equally,
+// subject to an optional per-operation rate cap. This is the single-link
+// special case of the network engine's max-min allocation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace lsdf::storage {
+
+using OpId = std::uint64_t;
+
+class FairChannel {
+ public:
+  using Callback = std::function<void()>;
+
+  FairChannel(sim::Simulator& simulator, Rate capacity, Rate per_op_cap)
+      : simulator_(simulator),
+        capacity_bps_(capacity.bps()),
+        per_op_cap_bps_(per_op_cap.bps()) {
+    LSDF_REQUIRE(capacity.bps() > 0.0, "channel capacity must be positive");
+  }
+
+  // Submit an operation moving `size` bytes; `done` fires at completion.
+  OpId submit(Bytes size, Callback done);
+
+  // Abort an in-flight operation (its callback never fires).
+  bool cancel(OpId id);
+
+  [[nodiscard]] std::size_t active_ops() const { return ops_.size(); }
+  [[nodiscard]] Rate capacity() const {
+    return Rate::bytes_per_second(capacity_bps_);
+  }
+  // Aggregate allocated rate right now.
+  [[nodiscard]] Rate load() const;
+
+  // Degradation factor in (0, 1]: models a rebuild or partial failure
+  // shrinking usable bandwidth. Takes effect at the next progress update.
+  void set_degradation(double factor);
+
+ private:
+  struct Op {
+    double remaining = 0.0;
+    double rate_bps = 0.0;
+    Callback done;
+  };
+
+  void advance_progress();
+  void reallocate();
+
+  sim::Simulator& simulator_;
+  double capacity_bps_;
+  double per_op_cap_bps_;  // 0 = uncapped
+  double degradation_ = 1.0;
+  std::map<OpId, Op> ops_;
+  OpId next_id_ = 1;
+  SimTime last_update_;
+  sim::EventId pending_{};
+  bool scheduled_ = false;
+};
+
+}  // namespace lsdf::storage

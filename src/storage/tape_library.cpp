@@ -1,0 +1,299 @@
+#include "storage/tape_library.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace lsdf::storage {
+
+TapeLibrary::TapeLibrary(sim::Simulator& simulator, TapeConfig config)
+    : simulator_(simulator),
+      config_(std::move(config)),
+      drives_(static_cast<std::size_t>(config_.drive_count)),
+      robot_(simulator, 1, config_.name + ".robot"),
+      cartridge_fill_(static_cast<std::size_t>(config_.cartridge_count)),
+      cartridge_dead_(static_cast<std::size_t>(config_.cartridge_count)) {
+  LSDF_REQUIRE(config_.drive_count > 0, "tape library needs drives");
+  LSDF_REQUIRE(config_.cartridge_count > 0, "tape library needs cartridges");
+}
+
+void TapeLibrary::archive(const std::string& object, Bytes size,
+                          TapeCallback done) {
+  const SimTime submitted = simulator_.now();
+  if (objects_.contains(object)) {
+    simulator_.schedule_after(
+        SimDuration::zero(), [this, object, size, submitted,
+                              done = std::move(done)] {
+          if (done) {
+            done(TapeResult{already_exists(object + " already archived"),
+                            submitted, simulator_.now(), size});
+          }
+        });
+    return;
+  }
+  // Advance the fill cartridge until the object fits.
+  while (fill_cartridge_ < config_.cartridge_count &&
+         cartridge_fill_[static_cast<std::size_t>(fill_cartridge_)] + size >
+             config_.cartridge_capacity) {
+    ++fill_cartridge_;
+  }
+  if (fill_cartridge_ >= config_.cartridge_count ||
+      size > config_.cartridge_capacity) {
+    simulator_.schedule_after(
+        SimDuration::zero(), [this, object, size, submitted,
+                              done = std::move(done)] {
+          if (done) {
+            done(TapeResult{
+                resource_exhausted(config_.name + " is full archiving " +
+                                   object),
+                submitted, simulator_.now(), size});
+          }
+        });
+    return;
+  }
+  Request request;
+  request.object = object;
+  request.size = size;
+  request.is_archive = true;
+  request.cartridge = fill_cartridge_;
+  request.offset = cartridge_fill_[static_cast<std::size_t>(fill_cartridge_)];
+  request.submitted = submitted;
+  request.done = std::move(done);
+  // Commit placement now so later archives and recalls see it; the data
+  // itself lands when the drive finishes streaming.
+  cartridge_fill_[static_cast<std::size_t>(fill_cartridge_)] += size;
+  used_ += size;
+  objects_.emplace(object,
+                   ObjectLocation{request.cartridge, request.offset, size});
+  enqueue(std::move(request));
+}
+
+void TapeLibrary::recall(const std::string& object, TapeCallback done) {
+  const SimTime submitted = simulator_.now();
+  const auto it = objects_.find(object);
+  if (it == objects_.end()) {
+    simulator_.schedule_after(
+        SimDuration::zero(),
+        [this, object, submitted, done = std::move(done)] {
+          if (done) {
+            done(TapeResult{not_found(object + " is not on tape"), submitted,
+                            simulator_.now(), Bytes::zero()});
+          }
+        });
+    return;
+  }
+  Request request;
+  request.object = object;
+  request.size = it->second.size;
+  request.is_archive = false;
+  request.cartridge = it->second.cartridge;
+  request.offset = it->second.offset;
+  request.submitted = submitted;
+  request.done = std::move(done);
+  enqueue(std::move(request));
+}
+
+void TapeLibrary::enqueue(Request request) {
+  queue_.push_back(std::move(request));
+  pump();
+}
+
+Status TapeLibrary::forget(const std::string& object) {
+  const auto it = objects_.find(object);
+  if (it == objects_.end()) return not_found(object + " is not on tape");
+  const auto cartridge = static_cast<std::size_t>(it->second.cartridge);
+  cartridge_dead_[cartridge] += it->second.size;
+  dead_ += it->second.size;
+  used_ -= it->second.size;
+  objects_.erase(it);
+  return Status::ok();
+}
+
+void TapeLibrary::compact(std::function<void(Bytes)> done) {
+  LSDF_REQUIRE(!compacting_, "a compaction is already running");
+  // Pick the cartridge with the most dead space.
+  std::int64_t victim = -1;
+  Bytes most_dead;
+  for (std::size_t i = 0; i < cartridge_dead_.size(); ++i) {
+    if (cartridge_dead_[i] > most_dead) {
+      most_dead = cartridge_dead_[i];
+      victim = static_cast<std::int64_t>(i);
+    }
+  }
+  if (victim < 0) {
+    simulator_.schedule_after(SimDuration::zero(),
+                              [done = std::move(done)] {
+                                if (done) done(Bytes::zero());
+                              });
+    return;
+  }
+  compacting_ = true;
+  // Mark the victim full so re-archived survivors cannot land back on it.
+  cartridge_fill_[static_cast<std::size_t>(victim)] =
+      config_.cartridge_capacity;
+  // Survivors must move off the victim cartridge.
+  auto survivors = std::make_shared<std::vector<std::string>>();
+  for (const auto& [name, location] : objects_) {
+    if (location.cartridge == victim) survivors->push_back(name);
+  }
+  compact_step(victim, survivors, Bytes::zero(), std::move(done));
+}
+
+void TapeLibrary::compact_step(
+    std::int64_t cartridge,
+    std::shared_ptr<std::vector<std::string>> survivors, Bytes reclaimed,
+    std::function<void(Bytes)> done) {
+  if (survivors->empty()) {
+    // Wipe the cartridge and return it to the scratch pool.
+    const auto index = static_cast<std::size_t>(cartridge);
+    reclaimed += cartridge_dead_[index];
+    dead_ -= cartridge_dead_[index];
+    cartridge_dead_[index] = Bytes::zero();
+    cartridge_fill_[index] = Bytes::zero();
+    if (cartridge < fill_cartridge_) fill_cartridge_ = cartridge;
+    compacting_ = false;
+    simulator_.schedule_after(
+        SimDuration::zero(), [reclaimed, done = std::move(done)] {
+          if (done) done(reclaimed);
+        });
+    return;
+  }
+  // Move one survivor: recall it, then re-archive to fresh tape. The
+  // recall/archive pair pays realistic drive time through the queue.
+  const std::string object = survivors->back();
+  survivors->pop_back();
+  const auto location = objects_.at(object);
+  recall(object, [this, object, location, cartridge, survivors, reclaimed,
+                  done = std::move(done)](const TapeResult& read) mutable {
+    if (!read.status.is_ok()) {  // drive trouble: give up cleanly
+      compacting_ = false;
+      if (done) done(reclaimed);
+      return;
+    }
+    // Drop the old placement, then append a fresh copy elsewhere. Only
+    // dead space counts as reclaimed; survivors are merely relocated.
+    objects_.erase(object);
+    used_ -= location.size;
+    archive(object, location.size,
+            [this, cartridge, survivors, reclaimed,
+             done = std::move(done)](const TapeResult& write) mutable {
+              if (!write.status.is_ok()) {
+                compacting_ = false;
+                if (done) done(Bytes::zero());
+                return;
+              }
+              compact_step(cartridge, survivors, reclaimed,
+                           std::move(done));
+            });
+  });
+}
+
+int TapeLibrary::healthy_drives() const {
+  return static_cast<int>(
+      std::count_if(drives_.begin(), drives_.end(),
+                    [](const Drive& d) { return !d.failed; }));
+}
+
+Status TapeLibrary::fail_drive() {
+  for (Drive& drive : drives_) {
+    if (!drive.failed && !drive.busy) {
+      drive.failed = true;
+      return Status::ok();
+    }
+  }
+  return failed_precondition("no idle healthy drive to fail");
+}
+
+void TapeLibrary::repair_drive() {
+  for (Drive& drive : drives_) {
+    if (drive.failed) {
+      drive.failed = false;
+      pump();
+      return;
+    }
+  }
+}
+
+void TapeLibrary::pump() {
+  while (!queue_.empty()) {
+    // Prefer a request whose cartridge is already mounted on an idle drive
+    // (mount-cache hit); otherwise serve the queue head FIFO.
+    std::size_t drive_index = drives_.size();
+    std::size_t request_index = 0;
+    bool found = false;
+    for (std::size_t qi = 0; qi < queue_.size() && !found; ++qi) {
+      for (std::size_t di = 0; di < drives_.size(); ++di) {
+        const Drive& drive = drives_[di];
+        if (!drive.busy && !drive.failed &&
+            drive.mounted == queue_[qi].cartridge) {
+          drive_index = di;
+          request_index = qi;
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      for (std::size_t di = 0; di < drives_.size(); ++di) {
+        if (!drives_[di].busy && !drives_[di].failed) {
+          drive_index = di;
+          request_index = 0;
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) return;  // all drives busy or failed
+
+    Request request = std::move(queue_[request_index]);
+    queue_.erase(queue_.begin() +
+                 static_cast<std::ptrdiff_t>(request_index));
+    drives_[drive_index].busy = true;
+    run_on_drive(drive_index, std::move(request));
+  }
+}
+
+void TapeLibrary::run_on_drive(std::size_t drive_index, Request request) {
+  Drive& drive = drives_[drive_index];
+  const bool needs_mount = drive.mounted != request.cartridge;
+
+  // Seek distance scales with the target position on tape.
+  const double position_fraction =
+      request.offset.as_double() / config_.cartridge_capacity.as_double();
+  const auto seek = SimDuration(static_cast<std::int64_t>(
+      static_cast<double>(config_.full_seek.nanos()) * position_fraction));
+  const SimDuration stream = transfer_time(request.size, config_.drive_rate);
+
+  auto finish = [this, drive_index,
+                 request = std::make_shared<Request>(std::move(request)),
+                 seek, stream]() mutable {
+    // Runs once the drive has the right cartridge mounted.
+    simulator_.schedule_after(seek + stream, [this, drive_index, request] {
+      drives_[drive_index].busy = false;
+      if (request->done) {
+        request->done(TapeResult{Status::ok(), request->submitted,
+                                 simulator_.now(), request->size});
+      }
+      pump();
+    });
+  };
+
+  if (!needs_mount) {
+    ++mount_hits_;
+    finish();
+    return;
+  }
+  ++mounts_;
+  const std::int64_t cartridge = request.cartridge;
+  robot_.acquire(1, [this, drive_index, cartridge,
+                     finish = std::move(finish)]() mutable {
+    simulator_.schedule_after(
+        config_.robot_exchange,
+        [this, drive_index, cartridge, finish = std::move(finish)]() mutable {
+          robot_.release(1);
+          drives_[drive_index].mounted = cartridge;
+          simulator_.schedule_after(config_.mount_time, std::move(finish));
+        });
+  });
+}
+
+}  // namespace lsdf::storage

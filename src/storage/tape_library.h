@@ -1,0 +1,132 @@
+// TapeLibrary: model of the facility's tape backend for archive and backup
+// (paper slide 7). A robot exchanges cartridges into a small number of
+// drives; reads pay robot + mount + seek latency and then stream at the
+// drive rate. Drives remember their mounted cartridge, so consecutive
+// requests for the same cartridge skip the exchange — the effect the HSM
+// ablation (A2) measures.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace lsdf::storage {
+
+struct TapeConfig {
+  std::string name = "tape";
+  int drive_count = 4;
+  std::int64_t cartridge_count = 1000;
+  Bytes cartridge_capacity = 1_TB;
+  Rate drive_rate = Rate::megabytes_per_second(140.0);  // LTO-5 class
+  SimDuration robot_exchange = 15_s;
+  SimDuration mount_time = 20_s;
+  SimDuration full_seek = 60_s;  // end-to-end tape wind time
+};
+
+struct TapeResult {
+  Status status;
+  SimTime started;
+  SimTime finished;
+  Bytes size;
+  [[nodiscard]] SimDuration duration() const { return finished - started; }
+};
+
+using TapeCallback = std::function<void(const TapeResult&)>;
+
+class TapeLibrary {
+ public:
+  TapeLibrary(sim::Simulator& simulator, TapeConfig config);
+
+  // Append an object to the library (archive). Placement appends to the
+  // current fill cartridge, opening a new one when full.
+  void archive(const std::string& object, Bytes size, TapeCallback done);
+
+  // Read an object back (recall). NOT_FOUND if it was never archived.
+  void recall(const std::string& object, TapeCallback done);
+
+  [[nodiscard]] bool contains(const std::string& object) const {
+    return objects_.contains(object);
+  }
+
+  // Mark an archived object as dead. Tape is append-only, so the space is
+  // not reusable until its cartridge is compacted; the object is
+  // immediately unreadable.
+  [[nodiscard]] Status forget(const std::string& object);
+
+  // Bytes held by dead objects (reclaimable via compaction).
+  [[nodiscard]] Bytes dead_bytes() const { return dead_; }
+
+  // Compact the cartridge with the most dead space: its live objects are
+  // re-archived (paying drive time) onto fresh tape and the cartridge is
+  // wiped for reuse. `done` reports bytes reclaimed (zero if nothing to
+  // compact). One compaction at a time.
+  void compact(std::function<void(Bytes)> done);
+
+  [[nodiscard]] Bytes used() const { return used_; }
+  [[nodiscard]] Bytes capacity() const {
+    return config_.cartridge_capacity * config_.cartridge_count;
+  }
+  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+  [[nodiscard]] std::int64_t mounts_performed() const { return mounts_; }
+  [[nodiscard]] std::int64_t mount_hits() const { return mount_hits_; }
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+
+  // Failure injection: take a drive out of service / return it.
+  [[nodiscard]] Status fail_drive();
+  void repair_drive();
+  [[nodiscard]] int healthy_drives() const;
+
+ private:
+  struct ObjectLocation {
+    std::int64_t cartridge = 0;
+    Bytes offset;   // position on tape, drives the seek-time model
+    Bytes size;
+  };
+  struct Request {
+    std::string object;
+    Bytes size;
+    bool is_archive = false;
+    std::int64_t cartridge = 0;
+    Bytes offset;
+    SimTime submitted;
+    TapeCallback done;
+  };
+  struct Drive {
+    std::optional<std::int64_t> mounted;  // cartridge id
+    bool busy = false;
+    bool failed = false;
+  };
+
+  void enqueue(Request request);
+  void pump();
+  void run_on_drive(std::size_t drive_index, Request request);
+  void compact_step(std::int64_t cartridge,
+                    std::shared_ptr<std::vector<std::string>> survivors,
+                    Bytes reclaimed, std::function<void(Bytes)> done);
+
+  sim::Simulator& simulator_;
+  TapeConfig config_;
+  std::vector<Drive> drives_;
+  sim::Resource robot_;
+  std::deque<Request> queue_;
+  std::map<std::string, ObjectLocation> objects_;
+  std::vector<Bytes> cartridge_fill_;
+  std::vector<Bytes> cartridge_dead_;
+  std::int64_t fill_cartridge_ = 0;
+  Bytes used_;
+  Bytes dead_;
+  bool compacting_ = false;
+  std::int64_t mounts_ = 0;
+  std::int64_t mount_hits_ = 0;
+};
+
+}  // namespace lsdf::storage

@@ -1,0 +1,38 @@
+// Bridge between the workflow orchestrator and the Hadoop engine: an actor
+// whose body submits a MapReduce job and completes when the job does. This
+// is how facility workflows mix per-dataset steps with cluster-scale
+// analytics (slide 12's workflows feeding slide 11's Hadoop cluster).
+#pragma once
+
+#include <functional>
+
+#include "mapreduce/job_tracker.h"
+#include "workflow/workflow.h"
+
+namespace lsdf::workflow {
+
+// The job's input path may depend on the dataset being processed, so the
+// spec is produced per run by `make_spec(dataset_id)`.
+using JobSpecFactory =
+    std::function<mapreduce::JobSpec(meta::DatasetId dataset)>;
+
+// Returns an actor body that runs the job on `tracker` and reports the
+// job's status (a failed job fails the actor, subject to retry policy).
+// Optionally exposes each run's JobResult through `on_result`.
+[[nodiscard]] inline ActorBody mapreduce_actor(
+    mapreduce::JobTracker& tracker, JobSpecFactory make_spec,
+    std::function<void(const mapreduce::JobResult&)> on_result = nullptr) {
+  LSDF_REQUIRE(make_spec != nullptr, "mapreduce actor needs a spec factory");
+  return [&tracker, make_spec = std::move(make_spec),
+          on_result = std::move(on_result)](
+             const ActorRun& run, std::function<void(Status)> done) {
+    tracker.submit(make_spec(run.dataset),
+                   [on_result, done = std::move(done)](
+                       const mapreduce::JobResult& result) {
+                     if (on_result) on_result(result);
+                     done(result.status);
+                   });
+  };
+}
+
+}  // namespace lsdf::workflow

@@ -1,0 +1,247 @@
+#include "workflow/workflow.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/require.h"
+
+namespace lsdf::workflow {
+
+ActorBody compute_actor(Rate processing_rate) {
+  LSDF_REQUIRE(processing_rate.bps() > 0.0,
+               "processing rate must be positive");
+  return [processing_rate](const ActorRun& run,
+                           std::function<void(Status)> done) {
+    const SimDuration duration =
+        transfer_time(run.data_size, processing_rate);
+    run.simulator->schedule_after(
+        duration, [done = std::move(done)] { done(Status::ok()); });
+  };
+}
+
+ActorBody fixed_actor(SimDuration duration) {
+  return [duration](const ActorRun& run, std::function<void(Status)> done) {
+    run.simulator->schedule_after(
+        duration, [done = std::move(done)] { done(Status::ok()); });
+  };
+}
+
+ActorId Workflow::add_actor(std::string name, ActorBody body,
+                            ActorOptions options) {
+  LSDF_REQUIRE(body != nullptr, "actor needs a body");
+  LSDF_REQUIRE(options.max_attempts >= 1, "actor needs >= 1 attempt");
+  const auto id = static_cast<ActorId>(actors_.size());
+  actors_.push_back(
+      Actor{std::move(name), std::move(body), options, {}, 0});
+  return id;
+}
+
+void Workflow::add_dependency(ActorId from, ActorId to) {
+  LSDF_REQUIRE(from < actors_.size() && to < actors_.size(),
+               "dependency endpoint out of range");
+  LSDF_REQUIRE(from != to, "self-dependency");
+  actors_[from].successors.push_back(to);
+  ++actors_[to].indegree;
+}
+
+ScatterStage add_scatter_stage(Workflow& workflow, const std::string& name,
+                               int width, const ActorBody& body,
+                               ActorOptions options) {
+  LSDF_REQUIRE(width >= 1, "scatter width must be >= 1");
+  ScatterStage stage;
+  stage.entry =
+      workflow.add_actor(name + ".scatter", fixed_actor(SimDuration::zero()));
+  stage.exit =
+      workflow.add_actor(name + ".gather", fixed_actor(SimDuration::zero()));
+  stage.workers.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    const ActorId worker = workflow.add_actor(
+        name + "[" + std::to_string(i) + "]", body, options);
+    workflow.add_dependency(stage.entry, worker);
+    workflow.add_dependency(worker, stage.exit);
+    stage.workers.push_back(worker);
+  }
+  return stage;
+}
+
+Status Workflow::validate() const {
+  // Kahn's algorithm: if a topological order covers every actor, no cycle.
+  std::vector<int> indegree(actors_.size());
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    indegree[i] = actors_[i].indegree;
+  }
+  std::deque<ActorId> ready;
+  for (ActorId id = 0; id < actors_.size(); ++id) {
+    if (indegree[id] == 0) ready.push_back(id);
+  }
+  std::size_t visited = 0;
+  while (!ready.empty()) {
+    const ActorId id = ready.front();
+    ready.pop_front();
+    ++visited;
+    for (const ActorId successor : actors_[id].successors) {
+      if (--indegree[successor] == 0) ready.push_back(successor);
+    }
+  }
+  if (visited != actors_.size()) {
+    return invalid_argument("workflow `" + name_ + "` contains a cycle");
+  }
+  return Status::ok();
+}
+
+struct Engine::RunState {
+  const Workflow* workflow = nullptr;
+  RunResult result;
+  meta::AttrMap parameters;
+  RunCallback done;
+  std::vector<int> indegree;
+  std::size_t remaining = 0;
+  Bytes data_size;
+  bool failed = false;
+};
+
+void Engine::run(const Workflow& workflow, meta::DatasetId dataset,
+                 meta::AttrMap parameters, RunCallback done) {
+  auto state = std::make_shared<RunState>();
+  state->workflow = &workflow;
+  state->result.workflow = workflow.name();
+  state->result.dataset = dataset;
+  state->result.started = simulator_.now();
+  state->parameters = std::move(parameters);
+  state->done = std::move(done);
+
+  auto finish_now = [this, state](Status status) {
+    state->result.status = std::move(status);
+    state->result.finished = simulator_.now();
+    simulator_.schedule_after(SimDuration::zero(), [state] {
+      if (state->done) state->done(state->result);
+    });
+  };
+
+  if (const Status valid = workflow.validate(); !valid.is_ok()) {
+    finish_now(valid);
+    return;
+  }
+  const auto record = store_.get(dataset);
+  if (!record.is_ok()) {
+    finish_now(record.status());
+    return;
+  }
+  // Branch names embed a sequence number so re-running the same workflow
+  // over the same dataset opens a fresh, independent branch (slide 8).
+  const auto branch = store_.open_branch(
+      dataset, workflow.name() + "#" + std::to_string(next_run_seq_++),
+      state->parameters, simulator_.now());
+  if (!branch.is_ok()) {
+    finish_now(branch.status());
+    return;
+  }
+  state->result.branch = branch.value();
+  state->data_size = record.value().size;
+  state->remaining = workflow.actor_count();
+  state->indegree.resize(workflow.actor_count());
+  for (std::size_t i = 0; i < workflow.actor_count(); ++i) {
+    state->indegree[i] = workflow.actors_[i].indegree;
+  }
+  ++runs_started_;
+  if (state->remaining == 0) {
+    (void)store_.close_branch(dataset, state->result.branch);
+    ++runs_completed_;
+    finish_now(Status::ok());
+    return;
+  }
+  fire_ready(state);
+}
+
+void Engine::fire_ready(const std::shared_ptr<RunState>& state) {
+  for (ActorId id = 0; id < state->indegree.size(); ++id) {
+    if (state->indegree[id] != 0) continue;
+    state->indegree[id] = -1;  // mark fired
+    fire_actor(state, id, /*attempt=*/1);
+  }
+}
+
+void Engine::fire_actor(const std::shared_ptr<RunState>& state, ActorId id,
+                        int attempt) {
+  ActorRun run;
+  run.simulator = &simulator_;
+  run.dataset = state->result.dataset;
+  run.data_size = state->data_size;
+  run.parameters = &state->parameters;
+  const ActorBody& body = state->workflow->actors_[id].body;
+  body(run, [this, state, id, attempt](Status status) {
+    actor_finished(state, id, attempt, status);
+  });
+}
+
+void Engine::actor_finished(const std::shared_ptr<RunState>& state,
+                            ActorId id, int attempt, const Status& status) {
+  if (state->failed) return;  // a sibling already failed the run
+  if (!status.is_ok()) {
+    const ActorOptions& options = state->workflow->actors_[id].options;
+    if (attempt < options.max_attempts) {
+      ++retries_;
+      simulator_.schedule_after(options.retry_backoff,
+                                [this, state, id, attempt] {
+                                  if (!state->failed) {
+                                    fire_actor(state, id, attempt + 1);
+                                  }
+                                });
+      return;
+    }
+    state->failed = true;
+    state->result.status = status;
+    state->result.finished = simulator_.now();
+    (void)store_.close_branch(state->result.dataset, state->result.branch);
+    ++runs_completed_;
+    if (state->done) state->done(state->result);
+    return;
+  }
+  // Record this actor's output in the processing branch (provenance).
+  const std::string uri = "lsdf://results/" + state->workflow->name() + "/" +
+                          state->workflow->actor_name(id) + "/" +
+                          std::to_string(state->result.dataset);
+  (void)store_.append_result(state->result.dataset, state->result.branch,
+                             uri);
+  state->result.outputs.push_back(uri);
+
+  for (const ActorId successor : state->workflow->actors_[id].successors) {
+    --state->indegree[successor];
+  }
+  if (--state->remaining == 0) {
+    state->result.status = Status::ok();
+    state->result.finished = simulator_.now();
+    (void)store_.close_branch(state->result.dataset, state->result.branch);
+    ++runs_completed_;
+    if (state->done) state->done(state->result);
+    return;
+  }
+  fire_ready(state);
+}
+
+TagTrigger::TagTrigger(Engine& engine, meta::MetadataStore& store)
+    : engine_(engine), store_(store) {
+  store_.subscribe([this](const meta::MetaEvent& event) {
+    if (event.kind != meta::EventKind::kTagged) return;
+    const auto binding = bindings_.find(event.detail);
+    if (binding == bindings_.end()) return;
+    ++triggered_;
+    const Binding& bound = binding->second;
+    engine_.run(*bound.workflow, event.dataset, bound.parameters,
+                [this, done_tag = bound.done_tag](const RunResult& result) {
+                  ++completed_;
+                  if (result.status.is_ok() && !done_tag.empty()) {
+                    (void)store_.tag(result.dataset, done_tag);
+                  }
+                });
+  });
+}
+
+void TagTrigger::bind(std::string trigger_tag, const Workflow& workflow,
+                      meta::AttrMap parameters, std::string done_tag) {
+  LSDF_REQUIRE(!trigger_tag.empty(), "empty trigger tag");
+  bindings_[std::move(trigger_tag)] =
+      Binding{&workflow, std::move(parameters), std::move(done_tag)};
+}
+
+}  // namespace lsdf::workflow

@@ -1,0 +1,169 @@
+// Workflow DAG + execution engine + tag trigger — the paper's slide 12:
+// "Allow tagging data and triggering execution via DataBrowser. Data from
+// finished workflows stored and tagged in DB."  (Kepler plays this role at
+// the real facility; this is a from-scratch orchestrator with the same
+// shape: actors wired into a DAG, data-driven firing, provenance capture.)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "meta/store.h"
+#include "sim/simulator.h"
+
+namespace lsdf::workflow {
+
+using ActorId = std::uint32_t;
+
+// Context an actor sees while firing.
+struct ActorRun {
+  sim::Simulator* simulator = nullptr;
+  meta::DatasetId dataset = 0;
+  Bytes data_size;
+  const meta::AttrMap* parameters = nullptr;
+};
+
+// An actor's body completes asynchronously via `done`.
+using ActorBody =
+    std::function<void(const ActorRun&, std::function<void(Status)> done)>;
+
+// Body factories for the common cases.
+// Processing time proportional to the dataset size.
+[[nodiscard]] ActorBody compute_actor(Rate processing_rate);
+// Fixed-duration step (setup, format conversion, report generation...).
+[[nodiscard]] ActorBody fixed_actor(SimDuration duration);
+
+// Per-actor execution policy. Facility workflows run for days over flaky
+// infrastructure; transient actor failures are retried with a backoff
+// before the run is failed.
+struct ActorOptions {
+  int max_attempts = 1;               // 1 = no retries
+  SimDuration retry_backoff = 30_s;   // wait between attempts
+};
+
+class Workflow {
+ public:
+  explicit Workflow(std::string name) : name_(std::move(name)) {}
+
+  ActorId add_actor(std::string name, ActorBody body,
+                    ActorOptions options = {});
+  // `to` fires only after `from` completed.
+  void add_dependency(ActorId from, ActorId to);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t actor_count() const { return actors_.size(); }
+  [[nodiscard]] const std::string& actor_name(ActorId id) const {
+    return actors_.at(id).name;
+  }
+
+  // INVALID_ARGUMENT when the graph has a cycle.
+  [[nodiscard]] Status validate() const;
+
+ private:
+  friend class Engine;
+  struct Actor {
+    std::string name;
+    ActorBody body;
+    ActorOptions options;
+    std::vector<ActorId> successors;
+    int indegree = 0;
+  };
+  std::string name_;
+  std::vector<Actor> actors_;
+};
+
+// Scatter/gather helper: inserts `width` parallel instances of `body`
+// (named `<name>[i]`) between two zero-cost barrier actors and returns
+// (entry, exit) so the stage can be wired into a larger DAG. This is the
+// Kepler idiom for parameter sweeps — e.g. one segmentation branch per
+// wavelength of an HTM acquisition.
+struct ScatterStage {
+  ActorId entry = 0;
+  ActorId exit = 0;
+  std::vector<ActorId> workers;
+};
+[[nodiscard]] ScatterStage add_scatter_stage(Workflow& workflow,
+                                             const std::string& name,
+                                             int width, const ActorBody& body,
+                                             ActorOptions options = {});
+
+struct RunResult {
+  Status status;
+  std::string workflow;
+  meta::DatasetId dataset = 0;
+  meta::BranchId branch = 0;
+  SimTime started;
+  SimTime finished;
+  std::vector<std::string> outputs;  // result URIs, in completion order
+  [[nodiscard]] SimDuration duration() const { return finished - started; }
+};
+
+using RunCallback = std::function<void(const RunResult&)>;
+
+class Engine {
+ public:
+  Engine(sim::Simulator& simulator, meta::MetadataStore& store)
+      : simulator_(simulator), store_(store) {}
+
+  // Execute `workflow` over `dataset`. Opens a processing branch carrying
+  // `parameters`, appends one result URI per completed actor, closes the
+  // branch, then reports. Concurrent runs are independent.
+  void run(const Workflow& workflow, meta::DatasetId dataset,
+           meta::AttrMap parameters, RunCallback done);
+
+  [[nodiscard]] std::int64_t runs_started() const { return runs_started_; }
+  [[nodiscard]] std::int64_t runs_completed() const {
+    return runs_completed_;
+  }
+  [[nodiscard]] std::int64_t retries_performed() const { return retries_; }
+
+ private:
+  struct RunState;
+  void fire_ready(const std::shared_ptr<RunState>& state);
+  void fire_actor(const std::shared_ptr<RunState>& state, ActorId id,
+                  int attempt);
+  void actor_finished(const std::shared_ptr<RunState>& state, ActorId id,
+                      int attempt, const Status& status);
+
+  sim::Simulator& simulator_;
+  meta::MetadataStore& store_;
+  std::int64_t runs_started_ = 0;
+  std::int64_t runs_completed_ = 0;
+  std::int64_t retries_ = 0;
+  std::int64_t next_run_seq_ = 1;
+};
+
+// Binds tags to workflows: tagging a dataset `trigger_tag` starts the bound
+// workflow; on success the dataset gains `done_tag` — closing the paper's
+// tag -> trigger -> store-and-tag loop.
+class TagTrigger {
+ public:
+  TagTrigger(Engine& engine, meta::MetadataStore& store);
+
+  void bind(std::string trigger_tag, const Workflow& workflow,
+            meta::AttrMap parameters, std::string done_tag);
+
+  [[nodiscard]] std::int64_t triggered() const { return triggered_; }
+  [[nodiscard]] std::int64_t completed() const { return completed_; }
+
+ private:
+  struct Binding {
+    const Workflow* workflow = nullptr;
+    meta::AttrMap parameters;
+    std::string done_tag;
+  };
+
+  Engine& engine_;
+  meta::MetadataStore& store_;
+  std::map<std::string, Binding> bindings_;
+  std::int64_t triggered_ = 0;
+  std::int64_t completed_ = 0;
+};
+
+}  // namespace lsdf::workflow

@@ -1,0 +1,232 @@
+// Tests for the real-execution substrate: the work-stealing thread pool and
+// the parallel algorithms built on it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+#include "common/require.h"
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
+
+namespace lsdf::exec {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+  EXPECT_EQ(pool.tasks_executed(), 100);
+}
+
+TEST(ThreadPool, AsyncReturnsValues) {
+  ThreadPool pool(2);
+  auto f1 = pool.async([] { return 21 * 2; });
+  auto f2 = pool.async([] { return std::string("lsdf"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "lsdf");
+}
+
+TEST(ThreadPool, AsyncVoid) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  pool.async([&] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, AsyncPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.async([]() -> int {
+    throw std::runtime_error("task failed");
+  });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, TasksMaySubmitMoreTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&pool, &counter] {
+      counter.fetch_add(1);
+      for (int j = 0; j < 10; ++j) {
+        pool.submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 110);
+}
+
+TEST(ThreadPool, WaitIdleWithNoWorkReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsPendingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&] { counter.fetch_add(1); });
+    }
+  }  // destructor joins
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, WorkIsActuallyParallel) {
+  const unsigned threads = 4;
+  ThreadPool pool(threads);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  std::atomic<int> done{0};
+  for (unsigned i = 0; i < threads; ++i) {
+    pool.submit([&] {
+      const int now = concurrent.fetch_add(1) + 1;
+      int expected = peak.load();
+      while (expected < now &&
+             !peak.compare_exchange_weak(expected, now)) {
+      }
+      // Busy-wait so tasks overlap.
+      while (done.load() == 0 && concurrent.load() < static_cast<int>(threads)) {
+      }
+      concurrent.fetch_sub(1);
+      done.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(ThreadPool, StealsWhenOneQueueIsLoaded) {
+  // External submits round-robin, but tasks submitted from inside a worker
+  // stack up on that worker's queue — forcing steals.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  pool.submit([&] {
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter] {
+        // Enough work per task (hundreds of microseconds) that the other
+        // workers wake up long before the producing worker could drain
+        // its own queue alone.
+        volatile std::int64_t x = 0;
+        for (int j = 0; j < 400000; ++j) x += j;
+        counter.fetch_add(1);
+      });
+    }
+  });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+  EXPECT_GT(pool.steals(), 0);
+}
+
+TEST(ThreadPool, ContractChecks) {
+  EXPECT_THROW(ThreadPool(0), ContractViolation);
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), ContractViolation);
+}
+
+// --- parallel_for / parallel_reduce ---------------------------------------------
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, 1000, 1,
+               [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndReversedRangesAreNoOps) {
+  ThreadPool pool(2);
+  int hits = 0;
+  parallel_for(pool, 5, 5, 1, [&](std::int64_t) { ++hits; });
+  parallel_for(pool, 10, 5, 1, [&](std::int64_t) { ++hits; });
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(ParallelFor, GrainCoarsensChunks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  parallel_for(pool, 0, 100, 100, [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelFor, ExceptionsPropagate) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 0, 100, 1,
+                            [](std::int64_t i) {
+                              if (i == 57) throw std::runtime_error("bad");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelReduce, SumsCorrectly) {
+  ThreadPool pool(4);
+  const std::int64_t n = 100000;
+  const auto sum = parallel_reduce<std::int64_t>(
+      pool, 0, n, 1, 0, [](std::int64_t i) { return i; },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST(ParallelReduce, EmptyRangeYieldsIdentity) {
+  ThreadPool pool(2);
+  const auto result = parallel_reduce<int>(
+      pool, 0, 0, 1, -7, [](std::int64_t) { return 1; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(result, -7);
+}
+
+TEST(ParallelReduce, MaxReduction) {
+  ThreadPool pool(4);
+  const auto result = parallel_reduce<std::int64_t>(
+      pool, 0, 1000, 1, std::numeric_limits<std::int64_t>::min(),
+      [](std::int64_t i) { return (i * 37) % 1001; },
+      [](std::int64_t a, std::int64_t b) { return std::max(a, b); });
+  std::int64_t expected = std::numeric_limits<std::int64_t>::min();
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    expected = std::max(expected, (i * 37) % 1001);
+  }
+  EXPECT_EQ(result, expected);
+}
+
+// Property sweep: parallel sum equals serial sum for many sizes/grains.
+class ReduceSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ReduceSweep, MatchesSerial) {
+  const auto [size, grain] = GetParam();
+  ThreadPool pool(4);
+  const auto parallel = parallel_reduce<std::int64_t>(
+      pool, 0, size, grain, 0,
+      [](std::int64_t i) { return i * i; },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
+  std::int64_t serial = 0;
+  for (std::int64_t i = 0; i < size; ++i) serial += i * i;
+  EXPECT_EQ(parallel, serial);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndGrains, ReduceSweep,
+    ::testing::Values(std::pair{1, 1}, std::pair{17, 4}, std::pair{1000, 1},
+                      std::pair{1000, 250}, std::pair{4096, 64},
+                      std::pair{100000, 1000}));
+
+}  // namespace
+}  // namespace lsdf::exec

@@ -1,0 +1,154 @@
+// Tests for multi-tenant job scheduling: FIFO vs fair share — a facility
+// serving many communities cannot let one long job monopolise the cluster.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "dfs/cluster_builder.h"
+#include "mapreduce/job_tracker.h"
+
+namespace lsdf::mapreduce {
+namespace {
+
+struct SharedClusterFixture {
+  sim::Simulator sim;
+  dfs::ClusterLayout layout;
+  net::TransferEngine net;
+  dfs::DfsCluster dfs;
+  std::vector<dfs::DataNodeId> datanodes;
+  JobTracker tracker;
+
+  explicit SharedClusterFixture(JobOrder order)
+      : layout(dfs::build_cluster_layout(layout_config())),
+        net(sim, layout.topology),
+        dfs(sim, layout.topology, net, dfs_config()),
+        datanodes(dfs::register_datanodes(dfs, layout)),
+        tracker(sim, dfs, net, tracker_config(order)) {}
+
+  static dfs::ClusterLayoutConfig layout_config() {
+    dfs::ClusterLayoutConfig config;
+    config.racks = 2;
+    config.nodes_per_rack = 4;
+    return config;
+  }
+  static dfs::DfsConfig dfs_config() {
+    dfs::DfsConfig config;
+    config.datanode_capacity = 50_GB;
+    return config;
+  }
+  static TrackerConfig tracker_config(JobOrder order) {
+    TrackerConfig config;
+    config.job_order = order;
+    return config;
+  }
+
+  void load(const std::string& path, Bytes size) {
+    bool ok = false;
+    dfs.write_file(path, size, layout.headnode,
+                   [&](const dfs::DfsIoResult& r) {
+                     ok = r.status.is_ok();
+                   });
+    sim.run();
+    ASSERT_TRUE(ok);
+  }
+
+  JobSpec job(const std::string& name, const std::string& input) {
+    JobSpec spec;
+    spec.name = name;
+    spec.input_path = input;
+    spec.map_rate = Rate::megabytes_per_second(64.0);
+    spec.reduce_tasks = 0;
+    return spec;
+  }
+};
+
+// A big job is submitted first; a small interactive job arrives while the
+// big one is running. Under fair share the small job must finish far
+// sooner than under FIFO.
+double small_job_completion_seconds(JobOrder order) {
+  SharedClusterFixture f(order);
+  f.load("/big", 8_GB);
+  f.load("/small", 256_MB);
+
+  std::optional<JobResult> big;
+  std::optional<JobResult> small;
+  f.tracker.submit(f.job("big-batch", "/big"),
+                   [&](const JobResult& r) { big = r; });
+  // The interactive job arrives 5 s in.
+  f.sim.schedule_after(5_s, [&] {
+    f.tracker.submit(f.job("interactive", "/small"),
+                     [&](const JobResult& r) { small = r; });
+  });
+  f.sim.run();
+  EXPECT_TRUE(big && big->status.is_ok());
+  EXPECT_TRUE(small && small->status.is_ok());
+  // Duration from submission, so DFS load time does not dilute the signal.
+  return small ? small->duration().seconds() : 1e9;
+}
+
+TEST(FairShare, InteractiveJobFinishesMuchSoonerThanUnderFifo) {
+  const double fifo = small_job_completion_seconds(JobOrder::kFifo);
+  const double fair = small_job_completion_seconds(JobOrder::kFairShare);
+  EXPECT_LT(fair, fifo * 0.6) << "fifo=" << fifo << " fair=" << fair;
+}
+
+TEST(FairShare, TotalThroughputIsNotSacrificed) {
+  // The last job finishing (makespan) should be nearly identical — fair
+  // share reorders work, it does not add work.
+  auto makespan = [](JobOrder order) {
+    SharedClusterFixture f(order);
+    f.load("/a", 4_GB);
+    f.load("/b", 4_GB);
+    int done = 0;
+    SimTime last;
+    for (const char* input : {"/a", "/b"}) {
+      f.tracker.submit(f.job(input, input), [&](const JobResult& r) {
+        ASSERT_TRUE(r.status.is_ok());
+        ++done;
+        last = f.sim.now();
+      });
+    }
+    f.sim.run();
+    EXPECT_EQ(done, 2);
+    return (last - SimTime::zero()).seconds();
+  };
+  const double fifo = makespan(JobOrder::kFifo);
+  const double fair = makespan(JobOrder::kFairShare);
+  EXPECT_NEAR(fair, fifo, fifo * 0.15);
+}
+
+TEST(FairShare, EqualJobsGetEqualSlots) {
+  SharedClusterFixture f(JobOrder::kFairShare);
+  f.load("/a", 4_GB);
+  f.load("/b", 4_GB);
+  std::optional<JobResult> first;
+  std::optional<JobResult> second;
+  f.tracker.submit(f.job("a", "/a"), [&](const JobResult& r) { first = r; });
+  f.tracker.submit(f.job("b", "/b"),
+                   [&](const JobResult& r) { second = r; });
+  f.sim.run();
+  ASSERT_TRUE(first && second);
+  // Identical jobs sharing fairly finish within ~10% of each other.
+  EXPECT_NEAR(first->duration().seconds(), second->duration().seconds(),
+              first->duration().seconds() * 0.1);
+}
+
+TEST(FairShare, FifoStillServesSequentially) {
+  SharedClusterFixture f(JobOrder::kFifo);
+  f.load("/a", 4_GB);
+  f.load("/b", 4_GB);
+  std::optional<JobResult> first;
+  std::optional<JobResult> second;
+  f.tracker.submit(f.job("a", "/a"), [&](const JobResult& r) { first = r; });
+  f.tracker.submit(f.job("b", "/b"),
+                   [&](const JobResult& r) { second = r; });
+  f.sim.run();
+  ASSERT_TRUE(first && second);
+  // Under FIFO the first job hogs the slots and finishes well before the
+  // second (both submitted at the same instant, so durations compare).
+  EXPECT_LT(first->duration().seconds(),
+            second->duration().seconds() * 0.8);
+}
+
+}  // namespace
+}  // namespace lsdf::mapreduce

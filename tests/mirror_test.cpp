@@ -1,0 +1,167 @@
+// Tests for the cross-site MirrorService (the BioQuant/Heidelberg
+// cooperation): tag-driven WAN replication with bounded concurrency and
+// retry across outages.
+#include <gtest/gtest.h>
+
+#include "core/facility.h"
+#include "core/mirror.h"
+
+namespace lsdf::core {
+namespace {
+
+struct MirrorFixture {
+  Facility facility{small_facility_config()};
+  MirrorService mirror;
+
+  explicit MirrorFixture(MirrorConfig config = base_config())
+      : mirror(facility.simulator(), facility.network(),
+               facility.metadata(), patch(config, facility)) {
+    EXPECT_TRUE(
+        facility.metadata().create_project("zebrafish-htm", {}).is_ok());
+    mirror.start();
+  }
+
+  static MirrorConfig base_config() {
+    MirrorConfig config;
+    config.retry_backoff = 1_min;
+    return config;
+  }
+  static MirrorConfig patch(MirrorConfig config, Facility& facility) {
+    config.local_gateway = facility.ingest_node();
+    config.remote_site = facility.heidelberg_node();
+    return config;
+  }
+
+  meta::DatasetId ingest_one(const std::string& name, Bytes size = 100_MB) {
+    ingest::IngestItem item;
+    item.project = "zebrafish-htm";
+    item.dataset_name = name;
+    item.size = size;
+    item.source = facility.daq_node();
+    std::optional<ingest::IngestReport> report;
+    facility.ingest().submit(std::move(item),
+                             [&](const ingest::IngestReport& r) {
+                               report = r;
+                             });
+    facility.simulator().run_while_pending(
+        [&] { return report.has_value(); });
+    EXPECT_TRUE(report && report->status.is_ok());
+    return report ? report->dataset : 0;
+  }
+};
+
+TEST(MirrorService, TagTriggersWanCopyAndDoneTag) {
+  MirrorFixture f;
+  const meta::DatasetId id = f.ingest_one("frame-1");
+  ASSERT_TRUE(f.facility.metadata().tag(id, "share-with-heidelberg")
+                  .is_ok());
+  f.facility.simulator().run_while_pending(
+      [&] { return f.mirror.is_mirrored(id); });
+  EXPECT_EQ(f.mirror.stats().mirrored, 1);
+  EXPECT_EQ(f.mirror.stats().bytes_mirrored, 100_MB);
+  const auto record = f.facility.metadata().get(id).value();
+  EXPECT_NE(std::find(record.tags.begin(), record.tags.end(), "mirrored"),
+            record.tags.end());
+}
+
+TEST(MirrorService, OtherTagsDoNothing) {
+  MirrorFixture f;
+  const meta::DatasetId id = f.ingest_one("frame-1");
+  ASSERT_TRUE(f.facility.metadata().tag(id, "unrelated").is_ok());
+  f.facility.simulator().run_until(f.facility.simulator().now() + 1_h);
+  EXPECT_EQ(f.mirror.stats().queued, 0);
+  EXPECT_FALSE(f.mirror.is_mirrored(id));
+}
+
+TEST(MirrorService, DuplicateRequestsAreDeduplicated) {
+  MirrorFixture f;
+  const meta::DatasetId id = f.ingest_one("frame-1");
+  f.mirror.mirror(id);
+  f.mirror.mirror(id);
+  ASSERT_TRUE(f.facility.metadata().tag(id, "share-with-heidelberg")
+                  .is_ok());
+  f.facility.simulator().run_while_pending(
+      [&] { return f.mirror.is_mirrored(id); });
+  EXPECT_EQ(f.mirror.stats().queued, 1);
+  EXPECT_EQ(f.mirror.stats().mirrored, 1);
+}
+
+TEST(MirrorService, ConcurrencyIsBounded) {
+  MirrorConfig config = MirrorFixture::base_config();
+  config.max_concurrent = 2;
+  MirrorFixture f(config);
+  std::vector<meta::DatasetId> ids;
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(f.ingest_one("frame-" + std::to_string(i), 1_GB));
+  }
+  for (const auto id : ids) f.mirror.mirror(id);
+  f.facility.simulator().run_until(f.facility.simulator().now() + 1_s);
+  EXPECT_EQ(f.mirror.in_flight(), 2);
+  EXPECT_EQ(f.mirror.queue_depth(), 4u);
+  f.facility.simulator().run_while_pending(
+      [&] { return f.mirror.stats().mirrored == 6; });
+  EXPECT_EQ(f.mirror.in_flight(), 0);
+}
+
+TEST(MirrorService, SurvivesWanOutageViaInFlightStall) {
+  // An outage mid-transfer: the flow stalls and resumes on repair (the
+  // engine's stall/resync path), so the mirror still completes.
+  MirrorFixture f;
+  const meta::DatasetId id = f.ingest_one("big", 2_GB);
+  f.mirror.mirror(id);
+  f.facility.simulator().run_until(f.facility.simulator().now() + 2_s);
+  f.facility.set_wan_up(false);
+  f.facility.simulator().run_until(f.facility.simulator().now() + 30_min);
+  EXPECT_FALSE(f.mirror.is_mirrored(id));
+  f.facility.set_wan_up(true);
+  f.facility.simulator().run_while_pending(
+      [&] { return f.mirror.is_mirrored(id); });
+  EXPECT_EQ(f.mirror.stats().mirrored, 1);
+}
+
+TEST(MirrorService, RetriesWhenWanIsDownAtSubmission) {
+  MirrorConfig config = MirrorFixture::base_config();
+  config.max_attempts = 10;
+  config.retry_backoff = 1_min;
+  MirrorFixture f(config);
+  const meta::DatasetId id = f.ingest_one("frame-1");
+  f.facility.set_wan_up(false);
+  f.mirror.mirror(id);
+  f.facility.simulator().run_until(f.facility.simulator().now() + 3_min);
+  EXPECT_GT(f.mirror.stats().retries, 0);
+  EXPECT_FALSE(f.mirror.is_mirrored(id));
+  f.facility.set_wan_up(true);
+  f.facility.simulator().run_while_pending(
+      [&] { return f.mirror.is_mirrored(id); });
+  EXPECT_EQ(f.mirror.stats().failed, 0);
+}
+
+TEST(MirrorService, GivesUpAfterMaxAttempts) {
+  MirrorConfig config = MirrorFixture::base_config();
+  config.max_attempts = 3;
+  config.retry_backoff = 1_min;
+  MirrorFixture f(config);
+  const meta::DatasetId id = f.ingest_one("frame-1");
+  f.facility.set_wan_up(false);
+  f.mirror.mirror(id);
+  f.facility.simulator().run_until(f.facility.simulator().now() + 1_h);
+  EXPECT_EQ(f.mirror.stats().failed, 1);
+  EXPECT_EQ(f.mirror.stats().retries, 2);
+  EXPECT_FALSE(f.mirror.is_mirrored(id));
+  // A fresh request after the WAN returns succeeds (tracking was reset).
+  f.facility.set_wan_up(true);
+  f.mirror.mirror(id);
+  f.facility.simulator().run_while_pending(
+      [&] { return f.mirror.is_mirrored(id); });
+  EXPECT_EQ(f.mirror.stats().mirrored, 1);
+}
+
+TEST(MirrorService, UnknownDatasetIsIgnored) {
+  MirrorFixture f;
+  f.mirror.mirror(9999);
+  f.facility.simulator().run_until(f.facility.simulator().now() + 1_min);
+  EXPECT_EQ(f.mirror.stats().queued, 0);
+}
+
+}  // namespace
+}  // namespace lsdf::core

@@ -1,0 +1,117 @@
+// Tests for the textual query language (DataBrowser search box).
+#include <gtest/gtest.h>
+
+#include "meta/query_parser.h"
+#include "meta/store.h"
+
+namespace lsdf::meta {
+namespace {
+
+class ParserFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(store.create_project("zebrafish-htm", {}).is_ok());
+    ASSERT_TRUE(store.create_project("katrin", {}).is_ok());
+    for (int i = 0; i < 12; ++i) {
+      MetadataStore::Registration reg;
+      reg.project = i < 9 ? "zebrafish-htm" : "katrin";
+      reg.name = "d" + std::to_string(i);
+      reg.data_uri = "u";
+      reg.size = 4_MB;
+      reg.basic["sequence"] = static_cast<std::int64_t>(i);
+      reg.basic["exposure_ms"] = 1.5 * i;
+      reg.basic["wavelength"] =
+          std::string(i % 2 == 0 ? "488nm" : "561nm");
+      reg.basic["calibrated"] = (i % 3 == 0);
+      reg.basic["instrument"] = std::string("htm-microscope");
+      ids.push_back(store.register_dataset(std::move(reg)).value());
+    }
+    ASSERT_TRUE(store.tag(ids[2], "golden").is_ok());
+  }
+
+  std::vector<DatasetId> run(const std::string& text) {
+    const auto query = parse_query(text);
+    EXPECT_TRUE(query.is_ok()) << query.status().to_string();
+    return query.is_ok() ? store.query(query.value())
+                         : std::vector<DatasetId>{};
+  }
+
+  MetadataStore store;
+  std::vector<DatasetId> ids;
+};
+
+TEST_F(ParserFixture, ProjectClause) {
+  EXPECT_EQ(run("project:zebrafish-htm").size(), 9u);
+  EXPECT_EQ(run("project:katrin").size(), 3u);
+}
+
+TEST_F(ParserFixture, EqualityStringQuotedAndBare) {
+  EXPECT_EQ(run("wavelength = \"488nm\"").size(), 6u);
+  EXPECT_EQ(run("wavelength = 488nm").size(), 6u);
+  EXPECT_EQ(run("wavelength == '561nm'").size(), 6u);
+}
+
+TEST_F(ParserFixture, IntegerComparisons) {
+  EXPECT_EQ(run("sequence < 5").size(), 5u);
+  EXPECT_EQ(run("sequence <= 5").size(), 6u);
+  EXPECT_EQ(run("sequence > 9").size(), 2u);
+  EXPECT_EQ(run("sequence >= 9").size(), 3u);
+  EXPECT_EQ(run("sequence = 7").size(), 1u);
+  EXPECT_EQ(run("sequence != 7").size(), 11u);
+}
+
+TEST_F(ParserFixture, FloatAndBoolValues) {
+  EXPECT_EQ(run("exposure_ms >= 15.0").size(), 2u);
+  EXPECT_EQ(run("calibrated = true").size(), 4u);
+  EXPECT_EQ(run("calibrated = false").size(), 8u);
+}
+
+TEST_F(ParserFixture, ContainsOperator) {
+  EXPECT_EQ(run("instrument ~ microscope").size(), 12u);
+  EXPECT_EQ(run("instrument ~ telescope").size(), 0u);
+}
+
+TEST_F(ParserFixture, ConjunctionsAndKeywords) {
+  EXPECT_EQ(run("project:zebrafish-htm and wavelength = 488nm and "
+                "sequence < 6")
+                .size(),
+            3u);
+  EXPECT_EQ(run("tag:golden && sequence = 2").size(), 1u);
+  EXPECT_EQ(run("project:zebrafish-htm and limit:4").size(), 4u);
+}
+
+TEST_F(ParserFixture, WhitespaceInsensitive) {
+  EXPECT_EQ(run("  sequence<5   and   wavelength=488nm ").size(), 3u);
+}
+
+TEST(QueryParser, SyntaxErrors) {
+  EXPECT_FALSE(parse_query("").is_ok());
+  EXPECT_FALSE(parse_query("and").is_ok());
+  EXPECT_FALSE(parse_query("sequence <").is_ok());
+  EXPECT_FALSE(parse_query("sequence 5").is_ok());
+  EXPECT_FALSE(parse_query("sequence <> 5").is_ok());
+  EXPECT_FALSE(parse_query("a = 1 b = 2").is_ok());      // missing and
+  EXPECT_FALSE(parse_query("a = 1 and").is_ok());        // trailing and
+  EXPECT_FALSE(parse_query("bogus:zebrafish").is_ok());  // unknown keyword
+  EXPECT_FALSE(parse_query("limit:0").is_ok());
+  EXPECT_FALSE(parse_query("limit:abc").is_ok());
+  EXPECT_FALSE(parse_query("name = \"unterminated").is_ok());
+  // Errors carry a position for the UI.
+  const auto error = parse_query("sequence <> 5");
+  EXPECT_NE(error.status().message().find("position"), std::string::npos);
+}
+
+TEST(QueryParser, NumericLiteralsKeepTheirTypes) {
+  const Query query =
+      parse_query("a = 5 and b = 2.5 and c = true and d = x5").value();
+  ASSERT_EQ(query.predicates().size(), 4u);
+  EXPECT_TRUE(std::holds_alternative<std::int64_t>(
+      query.predicates()[0].value));
+  EXPECT_TRUE(std::holds_alternative<double>(query.predicates()[1].value));
+  EXPECT_TRUE(std::holds_alternative<bool>(query.predicates()[2].value));
+  EXPECT_TRUE(std::holds_alternative<std::string>(
+      query.predicates()[3].value));
+}
+
+}  // namespace
+}  // namespace lsdf::meta

@@ -1,0 +1,278 @@
+// Tests for the discrete-event kernel: ordering, cancellation, time
+// control, resources and periodic tasks — the invariants every simulated
+// subsystem relies on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/require.h"
+#include "sim/simulator.h"
+
+namespace lsdf::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZeroWithNoEvents) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ExecutesEventsInTimestampOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime(300), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime(100), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime(200), [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime(300));
+}
+
+TEST(Simulator, EqualTimestampsExecuteFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(SimTime(50), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen;
+  sim.schedule_after(5_s, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, SimTime::zero() + 5_s);
+}
+
+TEST(Simulator, EventsMayScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(1_s, [&] {
+    ++fired;
+    sim.schedule_after(1_s, [&] {
+      ++fired;
+      sim.schedule_after(1_s, [&] { ++fired; });
+    });
+  });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), SimTime::zero() + 3_s);
+}
+
+TEST(Simulator, SchedulingInThePastViolatesContract) {
+  Simulator sim;
+  sim.schedule_after(10_s, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(SimTime(5), [] {}), ContractViolation);
+}
+
+TEST(Simulator, NullCallbackViolatesContract) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_after(1_s, nullptr), ContractViolation);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_after(1_s, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, CancelTwiceReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_after(1_s, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelAfterFiringReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_after(1_s, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(1_s, [&] { ++fired; });
+  sim.schedule_after(2_s, [&] { ++fired; });
+  sim.schedule_after(10_s, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(SimTime::zero() + 5_s), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), SimTime::zero() + 5_s);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilIncludesEventsExactlyAtDeadline) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_after(5_s, [&] { fired = true; });
+  sim.run_until(SimTime::zero() + 5_s);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunWhilePendingStopsOnPredicate) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_after(SimDuration(i), [&] { ++fired; });
+  }
+  EXPECT_TRUE(sim.run_while_pending([&] { return fired >= 4; }));
+  EXPECT_EQ(fired, 4);
+  // Queue exhaustion without satisfying the predicate reports false.
+  EXPECT_FALSE(sim.run_while_pending([&] { return fired >= 100; }));
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, ExecutedEventsCounterAccumulates) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_after(1_s, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 7u);
+}
+
+TEST(Simulator, DeterministicReplay) {
+  auto build_and_run = [] {
+    Simulator sim;
+    std::vector<std::int64_t> trace;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule_after(SimDuration((i * 37) % 11),
+                         [&trace, &sim] { trace.push_back(sim.now().nanos()); });
+    }
+    sim.run();
+    return trace;
+  };
+  EXPECT_EQ(build_and_run(), build_and_run());
+}
+
+// --- Resource ------------------------------------------------------------------
+
+TEST(Resource, GrantsImmediatelyWhenAvailable) {
+  Simulator sim;
+  Resource r(sim, 2, "slots");
+  int granted = 0;
+  r.acquire(1, [&] { ++granted; });
+  r.acquire(1, [&] { ++granted; });
+  sim.run();
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(r.in_use(), 2);
+  EXPECT_EQ(r.available(), 0);
+}
+
+TEST(Resource, QueuesWhenExhaustedAndGrantsOnRelease) {
+  Simulator sim;
+  Resource r(sim, 1, "drive");
+  std::vector<int> order;
+  r.acquire(1, [&] { order.push_back(1); });
+  r.acquire(1, [&] { order.push_back(2); });
+  r.acquire(1, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(r.queue_length(), 2u);
+  r.release(1);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  r.release(1);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Resource, FifoEvenWhenSmallerRequestCouldFit) {
+  Simulator sim;
+  Resource r(sim, 4, "cores");
+  std::vector<int> order;
+  r.acquire(3, [&] { order.push_back(1); });
+  r.acquire(3, [&] { order.push_back(2); });  // blocks: only 1 free
+  r.acquire(1, [&] { order.push_back(3); });  // would fit, but FIFO waits
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  r.release(3);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));  // 2 then 3, in order
+}
+
+TEST(Resource, ContractChecks) {
+  Simulator sim;
+  Resource r(sim, 2, "x");
+  EXPECT_THROW(r.acquire(0, [] {}), ContractViolation);
+  EXPECT_THROW(r.acquire(3, [] {}), ContractViolation);
+  EXPECT_THROW(r.release(1), ContractViolation);  // nothing held
+  EXPECT_THROW(Resource(sim, 0, "bad"), ContractViolation);
+}
+
+TEST(Resource, GrantIsDeliveredAsEventNotInline) {
+  Simulator sim;
+  Resource r(sim, 1, "slot");
+  bool granted = false;
+  r.acquire(1, [&] { granted = true; });
+  EXPECT_FALSE(granted);  // not synchronous
+  sim.run();
+  EXPECT_TRUE(granted);
+}
+
+// --- PeriodicTask ------------------------------------------------------------------
+
+TEST(PeriodicTask, FiresAtFixedPeriod) {
+  Simulator sim;
+  std::vector<std::int64_t> times;
+  PeriodicTask task(sim, 10_s, [&] { times.push_back(sim.now().nanos()); });
+  task.start_at(SimTime::zero() + 10_s, SimTime::zero() + 55_s);
+  sim.run();
+  const std::int64_t second = 1'000'000'000;
+  EXPECT_EQ(times, (std::vector<std::int64_t>{10 * second, 20 * second,
+                                              30 * second, 40 * second,
+                                              50 * second}));
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTask, StopCancelsFutureFirings) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTask task(sim, 1_s, [&] { ++fired; });
+  task.start_at(SimTime::zero() + 1_s);
+  sim.run_until(SimTime::zero() + 3_s);
+  task.stop();
+  sim.run_until(SimTime::zero() + 10_s);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(PeriodicTask, StartBeyondEndNeverFires) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTask task(sim, 1_s, [&] { ++fired; });
+  task.start_at(SimTime::zero() + 10_s, SimTime::zero() + 5_s);
+  sim.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTask, RestartAfterStop) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTask task(sim, 1_s, [&] { ++fired; });
+  task.start_at(SimTime::zero() + 1_s);
+  sim.run_until(SimTime::zero() + 2_s);
+  task.stop();
+  task.start_at(sim.now() + 1_s, sim.now() + 2_s);
+  sim.run();
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(PeriodicTask, DoubleStartViolatesContract) {
+  Simulator sim;
+  PeriodicTask task(sim, 1_s, [] {});
+  task.start_at(SimTime::zero() + 1_s);
+  EXPECT_THROW(task.start_at(SimTime::zero() + 2_s), ContractViolation);
+}
+
+}  // namespace
+}  // namespace lsdf::sim

@@ -1,0 +1,426 @@
+// Tests for the workflow orchestrator: DAG validation, execution order,
+// provenance capture, failure handling and the tag-trigger loop (slide 12).
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "meta/store.h"
+#include "sim/simulator.h"
+#include "workflow/workflow.h"
+
+namespace lsdf::workflow {
+namespace {
+
+struct WorkflowFixture {
+  sim::Simulator sim;
+  meta::MetadataStore store;
+  Engine engine{sim, store};
+  meta::DatasetId dataset = 0;
+
+  WorkflowFixture() {
+    EXPECT_TRUE(store.create_project("p", {}).is_ok());
+    meta::MetadataStore::Registration reg;
+    reg.project = "p";
+    reg.name = "d";
+    reg.data_uri = "lsdf://data/p/d";
+    reg.size = 1_GB;
+    dataset = store.register_dataset(std::move(reg)).value();
+  }
+
+  RunResult run(const Workflow& workflow, meta::AttrMap params = {}) {
+    std::optional<RunResult> result;
+    engine.run(workflow, dataset, std::move(params),
+               [&](const RunResult& r) { result = r; });
+    sim.run();
+    EXPECT_TRUE(result.has_value());
+    return result.value_or(RunResult{});
+  }
+};
+
+TEST(Workflow, ValidateAcceptsDagsAndRejectsCycles) {
+  Workflow ok("linear");
+  const ActorId a = ok.add_actor("a", fixed_actor(1_s));
+  const ActorId b = ok.add_actor("b", fixed_actor(1_s));
+  ok.add_dependency(a, b);
+  EXPECT_TRUE(ok.validate().is_ok());
+
+  Workflow cyclic("cyclic");
+  const ActorId x = cyclic.add_actor("x", fixed_actor(1_s));
+  const ActorId y = cyclic.add_actor("y", fixed_actor(1_s));
+  cyclic.add_dependency(x, y);
+  cyclic.add_dependency(y, x);
+  EXPECT_EQ(cyclic.validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Workflow, ContractChecks) {
+  Workflow w("w");
+  EXPECT_THROW(w.add_actor("a", nullptr), ContractViolation);
+  const ActorId a = w.add_actor("a", fixed_actor(1_s));
+  EXPECT_THROW(w.add_dependency(a, a), ContractViolation);
+  EXPECT_THROW(w.add_dependency(a, 99), ContractViolation);
+}
+
+TEST(Engine, LinearChainRunsInOrderAndRecordsProvenance) {
+  WorkflowFixture f;
+  Workflow w("preprocess");
+  const ActorId ingest = w.add_actor("normalise", fixed_actor(10_s));
+  const ActorId segment = w.add_actor("segment", fixed_actor(20_s));
+  const ActorId report = w.add_actor("report", fixed_actor(5_s));
+  w.add_dependency(ingest, segment);
+  w.add_dependency(segment, report);
+
+  const RunResult result = f.run(w);
+  ASSERT_TRUE(result.status.is_ok());
+  EXPECT_EQ(result.duration(), 35_s);  // strictly sequential
+  ASSERT_EQ(result.outputs.size(), 3u);
+  EXPECT_NE(result.outputs[0].find("normalise"), std::string::npos);
+  EXPECT_NE(result.outputs[1].find("segment"), std::string::npos);
+  EXPECT_NE(result.outputs[2].find("report"), std::string::npos);
+
+  // Provenance landed in a closed branch with all three results.
+  const meta::DatasetRecord record = f.store.get(f.dataset).value();
+  ASSERT_EQ(record.branches.size(), 1u);
+  EXPECT_TRUE(record.branches[0].closed);
+  EXPECT_EQ(record.branches[0].results.size(), 3u);
+  EXPECT_NE(record.branches[0].name.find("preprocess"), std::string::npos);
+}
+
+TEST(Engine, DiamondRunsBranchesConcurrently) {
+  WorkflowFixture f;
+  Workflow w("diamond");
+  const ActorId source = w.add_actor("source", fixed_actor(10_s));
+  const ActorId left = w.add_actor("left", fixed_actor(30_s));
+  const ActorId right = w.add_actor("right", fixed_actor(20_s));
+  const ActorId sink = w.add_actor("sink", fixed_actor(5_s));
+  w.add_dependency(source, left);
+  w.add_dependency(source, right);
+  w.add_dependency(left, sink);
+  w.add_dependency(right, sink);
+
+  const RunResult result = f.run(w);
+  ASSERT_TRUE(result.status.is_ok());
+  // 10 + max(30, 20) + 5 = 45 s, NOT 10+30+20+5.
+  EXPECT_EQ(result.duration(), 45_s);
+  EXPECT_EQ(result.outputs.size(), 4u);
+}
+
+TEST(Engine, ComputeActorScalesWithDataSize) {
+  WorkflowFixture f;  // dataset is 1 GB
+  Workflow w("compute");
+  w.add_actor("crunch", compute_actor(Rate::megabytes_per_second(100.0)));
+  const RunResult result = f.run(w);
+  ASSERT_TRUE(result.status.is_ok());
+  EXPECT_NEAR(result.duration().seconds(), 10.0, 0.01);
+}
+
+TEST(Engine, ParametersReachTheBranchAndActors) {
+  WorkflowFixture f;
+  std::optional<std::int64_t> seen;
+  Workflow w("parametrised");
+  w.add_actor("read-params", [&](const ActorRun& run,
+                                 std::function<void(Status)> done) {
+    seen = std::get<std::int64_t>(run.parameters->at("threshold"));
+    run.simulator->schedule_after(
+        1_s, [done = std::move(done)] { done(Status::ok()); });
+  });
+  meta::AttrMap params;
+  params["threshold"] = std::int64_t{42};
+  const RunResult result = f.run(w, params);
+  ASSERT_TRUE(result.status.is_ok());
+  EXPECT_EQ(seen, 42);
+  const meta::DatasetRecord record = f.store.get(f.dataset).value();
+  EXPECT_EQ(std::get<std::int64_t>(
+                record.branches[0].parameters.at("threshold")),
+            42);
+}
+
+TEST(Engine, ActorFailureAbortsTheRun) {
+  WorkflowFixture f;
+  Workflow w("flaky");
+  const ActorId ok_actor = w.add_actor("ok", fixed_actor(1_s));
+  const ActorId bad = w.add_actor("bad", [](const ActorRun& run,
+                                            std::function<void(Status)> done) {
+    run.simulator->schedule_after(2_s, [done = std::move(done)] {
+      done(internal_error("segfault in user code"));
+    });
+  });
+  const ActorId never = w.add_actor("never", fixed_actor(1_s));
+  w.add_dependency(bad, never);
+  (void)ok_actor;
+
+  const RunResult result = f.run(w);
+  EXPECT_EQ(result.status.code(), StatusCode::kInternal);
+  // Downstream actor never produced output.
+  for (const auto& output : result.outputs) {
+    EXPECT_EQ(output.find("never"), std::string::npos);
+  }
+}
+
+TEST(Engine, UnknownDatasetFails) {
+  WorkflowFixture f;
+  Workflow w("w");
+  w.add_actor("a", fixed_actor(1_s));
+  std::optional<RunResult> result;
+  f.engine.run(w, 9999, {}, [&](const RunResult& r) { result = r; });
+  f.sim.run();
+  EXPECT_EQ(result->status.code(), StatusCode::kNotFound);
+}
+
+TEST(Engine, CyclicWorkflowFailsAtRunTime) {
+  WorkflowFixture f;
+  Workflow w("cycle");
+  const ActorId a = w.add_actor("a", fixed_actor(1_s));
+  const ActorId b = w.add_actor("b", fixed_actor(1_s));
+  w.add_dependency(a, b);
+  w.add_dependency(b, a);
+  const RunResult result = f.run(w);
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Engine, EmptyWorkflowCompletesImmediately) {
+  WorkflowFixture f;
+  Workflow w("empty");
+  const RunResult result = f.run(w);
+  EXPECT_TRUE(result.status.is_ok());
+  EXPECT_EQ(result.duration(), SimDuration::zero());
+}
+
+TEST(Engine, RepeatedRunsOpenIndependentBranches) {
+  WorkflowFixture f;
+  Workflow w("repeat");
+  w.add_actor("a", fixed_actor(1_s));
+  ASSERT_TRUE(f.run(w).status.is_ok());
+  ASSERT_TRUE(f.run(w).status.is_ok());
+  const meta::DatasetRecord record = f.store.get(f.dataset).value();
+  EXPECT_EQ(record.branches.size(), 2u);
+  EXPECT_NE(record.branches[0].name, record.branches[1].name);
+  EXPECT_EQ(f.engine.runs_started(), 2);
+  EXPECT_EQ(f.engine.runs_completed(), 2);
+}
+
+TEST(Engine, ConcurrentRunsOverDifferentDatasetsAreIndependent) {
+  WorkflowFixture f;
+  meta::MetadataStore::Registration reg;
+  reg.project = "p";
+  reg.name = "d2";
+  reg.data_uri = "lsdf://data/p/d2";
+  reg.size = 1_GB;
+  const meta::DatasetId second = f.store.register_dataset(std::move(reg)).value();
+
+  Workflow w("shared");
+  w.add_actor("a", fixed_actor(10_s));
+  int completions = 0;
+  f.engine.run(w, f.dataset, {}, [&](const RunResult& r) {
+    EXPECT_TRUE(r.status.is_ok());
+    ++completions;
+  });
+  f.engine.run(w, second, {}, [&](const RunResult& r) {
+    EXPECT_TRUE(r.status.is_ok());
+    ++completions;
+  });
+  f.sim.run();
+  EXPECT_EQ(completions, 2);
+  EXPECT_EQ(f.store.get(f.dataset).value().branches.size(), 1u);
+  EXPECT_EQ(f.store.get(second).value().branches.size(), 1u);
+}
+
+// --- Scatter/gather ----------------------------------------------------------------
+
+TEST(Engine, ScatterStageRunsWorkersConcurrently) {
+  WorkflowFixture f;
+  Workflow w("sweep");
+  const ActorId prepare = w.add_actor("prepare", fixed_actor(5_s));
+  const ScatterStage stage =
+      add_scatter_stage(w, "per-wavelength", 4, fixed_actor(30_s));
+  const ActorId report = w.add_actor("report", fixed_actor(5_s));
+  w.add_dependency(prepare, stage.entry);
+  w.add_dependency(stage.exit, report);
+  ASSERT_TRUE(w.validate().is_ok());
+  EXPECT_EQ(w.actor_count(), 8u);  // prepare + 2 barriers + 4 + report
+
+  const RunResult result = f.run(w);
+  ASSERT_TRUE(result.status.is_ok());
+  // 5 + max(4 x 30 in parallel) + 5 = 40 s, not 5 + 120 + 5.
+  EXPECT_EQ(result.duration(), 40_s);
+  EXPECT_EQ(result.outputs.size(), 8u);
+}
+
+TEST(Engine, ScatterWorkerNamesAreIndexed) {
+  Workflow w("sweep");
+  const ScatterStage stage =
+      add_scatter_stage(w, "seg", 3, fixed_actor(1_s));
+  EXPECT_EQ(w.actor_name(stage.workers[0]), "seg[0]");
+  EXPECT_EQ(w.actor_name(stage.workers[2]), "seg[2]");
+  EXPECT_EQ(w.actor_name(stage.entry), "seg.scatter");
+  EXPECT_EQ(w.actor_name(stage.exit), "seg.gather");
+}
+
+TEST(Engine, ScatterWorkerFailureFailsTheRun) {
+  WorkflowFixture f;
+  Workflow w("sweep");
+  auto attempts = std::make_shared<int>(0);
+  const ScatterStage stage = add_scatter_stage(
+      w, "flaky", 3,
+      [attempts](const ActorRun& run, std::function<void(Status)> done) {
+        const int attempt = ++*attempts;
+        run.simulator->schedule_after(
+            1_s, [attempt, done = std::move(done)] {
+              done(attempt == 2 ? internal_error("worker 2 crashed")
+                                : Status::ok());
+            });
+      });
+  (void)stage;
+  const RunResult result = f.run(w);
+  EXPECT_EQ(result.status.code(), StatusCode::kInternal);
+}
+
+TEST(Workflow, ScatterWidthMustBePositive) {
+  Workflow w("bad");
+  EXPECT_THROW(add_scatter_stage(w, "s", 0, fixed_actor(1_s)),
+               ContractViolation);
+}
+
+// --- Actor retries ----------------------------------------------------------------
+
+// A body failing `failures` times, then succeeding.
+workflow::ActorBody flaky_actor(int failures,
+                                std::shared_ptr<int> attempt_log) {
+  auto remaining = std::make_shared<int>(failures);
+  return [remaining, attempt_log](const ActorRun& run,
+                                  std::function<void(Status)> done) {
+    ++*attempt_log;
+    const bool fail_this_time = *remaining > 0;
+    if (fail_this_time) --*remaining;
+    run.simulator->schedule_after(
+        1_s, [fail_this_time, done = std::move(done)] {
+          done(fail_this_time ? unavailable("transient storage hiccup")
+                              : Status::ok());
+        });
+  };
+}
+
+TEST(Engine, RetriesRescueTransientFailures) {
+  WorkflowFixture f;
+  auto attempts = std::make_shared<int>(0);
+  Workflow w("flaky-but-retried");
+  ActorOptions options;
+  options.max_attempts = 3;
+  options.retry_backoff = 10_s;
+  w.add_actor("flaky", flaky_actor(2, attempts), options);
+  const RunResult result = f.run(w);
+  EXPECT_TRUE(result.status.is_ok());
+  EXPECT_EQ(*attempts, 3);
+  EXPECT_EQ(f.engine.retries_performed(), 2);
+  // 3 x 1 s work + 2 x 10 s backoff.
+  EXPECT_EQ(result.duration(), 23_s);
+}
+
+TEST(Engine, RetriesExhaustedFailsTheRun) {
+  WorkflowFixture f;
+  auto attempts = std::make_shared<int>(0);
+  Workflow w("hopeless");
+  ActorOptions options;
+  options.max_attempts = 2;
+  options.retry_backoff = 5_s;
+  w.add_actor("broken", flaky_actor(99, attempts), options);
+  const RunResult result = f.run(w);
+  EXPECT_EQ(result.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(*attempts, 2);
+}
+
+TEST(Engine, DefaultIsSingleAttempt) {
+  WorkflowFixture f;
+  auto attempts = std::make_shared<int>(0);
+  Workflow w("no-retry");
+  w.add_actor("flaky", flaky_actor(1, attempts));
+  const RunResult result = f.run(w);
+  EXPECT_FALSE(result.status.is_ok());
+  EXPECT_EQ(*attempts, 1);
+}
+
+TEST(Workflow, ZeroAttemptsViolatesContract) {
+  Workflow w("bad");
+  ActorOptions options;
+  options.max_attempts = 0;
+  EXPECT_THROW(w.add_actor("a", fixed_actor(1_s), options),
+               ContractViolation);
+}
+
+// --- TagTrigger: the slide-12 loop -----------------------------------------------
+
+TEST(TagTrigger, TagStartsBoundWorkflowAndDoneTagFollows) {
+  WorkflowFixture f;
+  TagTrigger trigger(f.engine, f.store);
+  Workflow w("auto-analysis");
+  w.add_actor("analyse", fixed_actor(30_s));
+  trigger.bind("process-me", w, {}, "analysis-done");
+
+  ASSERT_TRUE(f.store.tag(f.dataset, "process-me").is_ok());
+  f.sim.run();
+  EXPECT_EQ(trigger.triggered(), 1);
+  EXPECT_EQ(trigger.completed(), 1);
+  // Results stored and tagged in the DB (the slide-12 promise).
+  const meta::DatasetRecord record = f.store.get(f.dataset).value();
+  ASSERT_EQ(record.branches.size(), 1u);
+  EXPECT_EQ(record.branches[0].results.size(), 1u);
+  EXPECT_NE(std::find(record.tags.begin(), record.tags.end(),
+                      "analysis-done"),
+            record.tags.end());
+}
+
+TEST(TagTrigger, UnboundTagsDoNothing) {
+  WorkflowFixture f;
+  TagTrigger trigger(f.engine, f.store);
+  Workflow w("w");
+  w.add_actor("a", fixed_actor(1_s));
+  trigger.bind("magic", w, {}, "");
+  ASSERT_TRUE(f.store.tag(f.dataset, "boring").is_ok());
+  f.sim.run();
+  EXPECT_EQ(trigger.triggered(), 0);
+  EXPECT_TRUE(f.store.get(f.dataset).value().branches.empty());
+}
+
+TEST(TagTrigger, EachTaggedDatasetTriggersItsOwnRun) {
+  WorkflowFixture f;
+  TagTrigger trigger(f.engine, f.store);
+  Workflow w("fanout");
+  w.add_actor("a", fixed_actor(5_s));
+  trigger.bind("go", w, {}, "done");
+  std::vector<meta::DatasetId> datasets{f.dataset};
+  for (int i = 0; i < 4; ++i) {
+    meta::MetadataStore::Registration reg;
+    reg.project = "p";
+    reg.name = "extra-" + std::to_string(i);
+    reg.data_uri = "x";
+    reg.size = 1_MB;
+    datasets.push_back(f.store.register_dataset(std::move(reg)).value());
+  }
+  for (const meta::DatasetId id : datasets) {
+    ASSERT_TRUE(f.store.tag(id, "go").is_ok());
+  }
+  f.sim.run();
+  EXPECT_EQ(trigger.triggered(), 5);
+  EXPECT_EQ(trigger.completed(), 5);
+  EXPECT_EQ(f.store.tagged("done").size(), 5u);
+}
+
+TEST(TagTrigger, DoneTagMayChainIntoAnotherWorkflow) {
+  WorkflowFixture f;
+  TagTrigger trigger(f.engine, f.store);
+  Workflow first("first");
+  first.add_actor("a", fixed_actor(1_s));
+  Workflow second("second");
+  second.add_actor("b", fixed_actor(1_s));
+  trigger.bind("start", first, {}, "stage-two");
+  trigger.bind("stage-two", second, {}, "all-done");
+
+  ASSERT_TRUE(f.store.tag(f.dataset, "start").is_ok());
+  f.sim.run();
+  EXPECT_EQ(trigger.triggered(), 2);
+  const meta::DatasetRecord record = f.store.get(f.dataset).value();
+  EXPECT_EQ(record.branches.size(), 2u);
+  EXPECT_EQ(f.store.tagged("all-done").size(), 1u);
+}
+
+}  // namespace
+}  // namespace lsdf::workflow
