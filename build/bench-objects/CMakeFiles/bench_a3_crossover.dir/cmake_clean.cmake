@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a3_crossover"
+  "../bench/bench_a3_crossover.pdb"
+  "CMakeFiles/bench_a3_crossover.dir/bench_a3_crossover.cpp.o"
+  "CMakeFiles/bench_a3_crossover.dir/bench_a3_crossover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a4_multitenancy"
+  "../bench/bench_a4_multitenancy.pdb"
+  "CMakeFiles/bench_a4_multitenancy.dir/bench_a4_multitenancy.cpp.o"
+  "CMakeFiles/bench_a4_multitenancy.dir/bench_a4_multitenancy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_multitenancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

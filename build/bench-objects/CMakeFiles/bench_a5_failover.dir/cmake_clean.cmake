@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a5_failover"
+  "../bench/bench_a5_failover.pdb"
+  "CMakeFiles/bench_a5_failover.dir/bench_a5_failover.cpp.o"
+  "CMakeFiles/bench_a5_failover.dir/bench_a5_failover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e10_roadmap"
+  "../bench/bench_e10_roadmap.pdb"
+  "CMakeFiles/bench_e10_roadmap.dir/bench_e10_roadmap.cpp.o"
+  "CMakeFiles/bench_e10_roadmap.dir/bench_e10_roadmap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_roadmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e11_heidelberg_mirror"
+  "../bench/bench_e11_heidelberg_mirror.pdb"
+  "CMakeFiles/bench_e11_heidelberg_mirror.dir/bench_e11_heidelberg_mirror.cpp.o"
+  "CMakeFiles/bench_e11_heidelberg_mirror.dir/bench_e11_heidelberg_mirror.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_heidelberg_mirror.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e1_htm_ingest"
+  "../bench/bench_e1_htm_ingest.pdb"
+  "CMakeFiles/bench_e1_htm_ingest.dir/bench_e1_htm_ingest.cpp.o"
+  "CMakeFiles/bench_e1_htm_ingest.dir/bench_e1_htm_ingest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_htm_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

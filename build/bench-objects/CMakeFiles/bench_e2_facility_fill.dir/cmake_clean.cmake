@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_facility_fill"
+  "../bench/bench_e2_facility_fill.pdb"
+  "CMakeFiles/bench_e2_facility_fill.dir/bench_e2_facility_fill.cpp.o"
+  "CMakeFiles/bench_e2_facility_fill.dir/bench_e2_facility_fill.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_facility_fill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_metadata_model"
+  "../bench/bench_e3_metadata_model.pdb"
+  "CMakeFiles/bench_e3_metadata_model.dir/bench_e3_metadata_model.cpp.o"
+  "CMakeFiles/bench_e3_metadata_model.dir/bench_e3_metadata_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_metadata_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

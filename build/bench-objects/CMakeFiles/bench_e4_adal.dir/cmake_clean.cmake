@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_adal"
+  "../bench/bench_e4_adal.pdb"
+  "CMakeFiles/bench_e4_adal.dir/bench_e4_adal.cpp.o"
+  "CMakeFiles/bench_e4_adal.dir/bench_e4_adal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_adal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

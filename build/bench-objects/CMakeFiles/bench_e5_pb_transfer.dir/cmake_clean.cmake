@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_pb_transfer"
+  "../bench/bench_e5_pb_transfer.pdb"
+  "CMakeFiles/bench_e5_pb_transfer.dir/bench_e5_pb_transfer.cpp.o"
+  "CMakeFiles/bench_e5_pb_transfer.dir/bench_e5_pb_transfer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_pb_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e6_hadoop_scaling"
+  "../bench/bench_e6_hadoop_scaling.pdb"
+  "CMakeFiles/bench_e6_hadoop_scaling.dir/bench_e6_hadoop_scaling.cpp.o"
+  "CMakeFiles/bench_e6_hadoop_scaling.dir/bench_e6_hadoop_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_hadoop_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e7_cloud_deploy"
+  "../bench/bench_e7_cloud_deploy.pdb"
+  "CMakeFiles/bench_e7_cloud_deploy.dir/bench_e7_cloud_deploy.cpp.o"
+  "CMakeFiles/bench_e7_cloud_deploy.dir/bench_e7_cloud_deploy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_cloud_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

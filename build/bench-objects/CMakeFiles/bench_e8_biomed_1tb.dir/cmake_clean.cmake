@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e8_biomed_1tb"
+  "../bench/bench_e8_biomed_1tb.pdb"
+  "CMakeFiles/bench_e8_biomed_1tb.dir/bench_e8_biomed_1tb.cpp.o"
+  "CMakeFiles/bench_e8_biomed_1tb.dir/bench_e8_biomed_1tb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_biomed_1tb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

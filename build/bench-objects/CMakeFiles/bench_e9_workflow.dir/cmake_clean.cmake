@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e9_workflow"
+  "../bench/bench_e9_workflow.pdb"
+  "CMakeFiles/bench_e9_workflow.dir/bench_e9_workflow.cpp.o"
+  "CMakeFiles/bench_e9_workflow.dir/bench_e9_workflow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

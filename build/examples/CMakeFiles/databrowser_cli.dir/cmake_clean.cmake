@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/databrowser_cli.dir/databrowser_cli.cpp.o"
+  "CMakeFiles/databrowser_cli.dir/databrowser_cli.cpp.o.d"
+  "databrowser_cli"
+  "databrowser_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/databrowser_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dna_kmer_count.dir/dna_kmer_count.cpp.o"
+  "CMakeFiles/dna_kmer_count.dir/dna_kmer_count.cpp.o.d"
+  "dna_kmer_count"
+  "dna_kmer_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dna_kmer_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facility_operations.dir/facility_operations.cpp.o"
+  "CMakeFiles/facility_operations.dir/facility_operations.cpp.o.d"
+  "facility_operations"
+  "facility_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facility_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

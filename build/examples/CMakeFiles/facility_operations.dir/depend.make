@@ -1,0 +1,2 @@
+# Empty dependencies file for facility_operations.
+# This may be replaced when dependencies are built.

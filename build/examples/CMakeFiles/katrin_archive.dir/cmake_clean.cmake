@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/katrin_archive.dir/katrin_archive.cpp.o"
+  "CMakeFiles/katrin_archive.dir/katrin_archive.cpp.o.d"
+  "katrin_archive"
+  "katrin_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/katrin_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

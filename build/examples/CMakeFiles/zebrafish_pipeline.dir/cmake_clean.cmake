@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zebrafish_pipeline.dir/zebrafish_pipeline.cpp.o"
+  "CMakeFiles/zebrafish_pipeline.dir/zebrafish_pipeline.cpp.o.d"
+  "zebrafish_pipeline"
+  "zebrafish_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zebrafish_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

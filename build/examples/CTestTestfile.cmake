@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_zebrafish_pipeline "/root/repo/build/examples/zebrafish_pipeline" "5")
+set_tests_properties(example_zebrafish_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_katrin_archive "/root/repo/build/examples/katrin_archive" "3")
+set_tests_properties(example_katrin_archive PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dna_kmer_count "/root/repo/build/examples/dna_kmer_count" "2000" "100" "9")
+set_tests_properties(example_dna_kmer_count PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_facility_operations "/root/repo/build/examples/facility_operations")
+set_tests_properties(example_facility_operations PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_operations_paper_scale "/root/repo/build/examples/facility_operations" "/root/repo/configs/paper_facility.conf")
+set_tests_properties(example_operations_paper_scale PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_databrowser_cli "sh" "-c" "printf 'projects\\nlist zebrafish-htm\\nquery project:zebrafish-htm and wavelength = 488nm\\ntag 1 process-me\\nfacet zebrafish-htm wavelength\\nreport\\ndownload 1\\nquit\\n' | /root/repo/build/examples/databrowser_cli")
+set_tests_properties(example_databrowser_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("net")
+subdirs("storage")
+subdirs("dfs")
+subdirs("meta")
+subdirs("adal")
+subdirs("exec")
+subdirs("mapreduce")
+subdirs("cloud")
+subdirs("workflow")
+subdirs("ingest")
+subdirs("core")

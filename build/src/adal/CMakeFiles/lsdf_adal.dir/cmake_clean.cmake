@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsdf_adal.dir/adal.cpp.o"
+  "CMakeFiles/lsdf_adal.dir/adal.cpp.o.d"
+  "CMakeFiles/lsdf_adal.dir/backends.cpp.o"
+  "CMakeFiles/lsdf_adal.dir/backends.cpp.o.d"
+  "liblsdf_adal.a"
+  "liblsdf_adal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsdf_adal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

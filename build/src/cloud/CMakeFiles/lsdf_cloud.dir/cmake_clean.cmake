@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsdf_cloud.dir/cloud_manager.cpp.o"
+  "CMakeFiles/lsdf_cloud.dir/cloud_manager.cpp.o.d"
+  "liblsdf_cloud.a"
+  "liblsdf_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsdf_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsdf_common.dir/checksum.cpp.o"
+  "CMakeFiles/lsdf_common.dir/checksum.cpp.o.d"
+  "CMakeFiles/lsdf_common.dir/config.cpp.o"
+  "CMakeFiles/lsdf_common.dir/config.cpp.o.d"
+  "CMakeFiles/lsdf_common.dir/units.cpp.o"
+  "CMakeFiles/lsdf_common.dir/units.cpp.o.d"
+  "liblsdf_common.a"
+  "liblsdf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsdf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

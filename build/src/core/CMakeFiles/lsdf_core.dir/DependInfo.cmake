@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/data_browser.cpp" "src/core/CMakeFiles/lsdf_core.dir/data_browser.cpp.o" "gcc" "src/core/CMakeFiles/lsdf_core.dir/data_browser.cpp.o.d"
+  "/root/repo/src/core/facility.cpp" "src/core/CMakeFiles/lsdf_core.dir/facility.cpp.o" "gcc" "src/core/CMakeFiles/lsdf_core.dir/facility.cpp.o.d"
+  "/root/repo/src/core/mirror.cpp" "src/core/CMakeFiles/lsdf_core.dir/mirror.cpp.o" "gcc" "src/core/CMakeFiles/lsdf_core.dir/mirror.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/lsdf_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/lsdf_core.dir/monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adal/CMakeFiles/lsdf_adal.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/lsdf_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lsdf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/lsdf_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/lsdf_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/ingest/CMakeFiles/lsdf_ingest.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/lsdf_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/lsdf_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lsdf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lsdf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lsdf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/lsdf_workflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsdf_core.dir/data_browser.cpp.o"
+  "CMakeFiles/lsdf_core.dir/data_browser.cpp.o.d"
+  "CMakeFiles/lsdf_core.dir/facility.cpp.o"
+  "CMakeFiles/lsdf_core.dir/facility.cpp.o.d"
+  "CMakeFiles/lsdf_core.dir/mirror.cpp.o"
+  "CMakeFiles/lsdf_core.dir/mirror.cpp.o.d"
+  "CMakeFiles/lsdf_core.dir/monitor.cpp.o"
+  "CMakeFiles/lsdf_core.dir/monitor.cpp.o.d"
+  "liblsdf_core.a"
+  "liblsdf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsdf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

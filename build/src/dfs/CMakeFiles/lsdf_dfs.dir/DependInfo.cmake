@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfs/cluster_builder.cpp" "src/dfs/CMakeFiles/lsdf_dfs.dir/cluster_builder.cpp.o" "gcc" "src/dfs/CMakeFiles/lsdf_dfs.dir/cluster_builder.cpp.o.d"
+  "/root/repo/src/dfs/dfs.cpp" "src/dfs/CMakeFiles/lsdf_dfs.dir/dfs.cpp.o" "gcc" "src/dfs/CMakeFiles/lsdf_dfs.dir/dfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lsdf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lsdf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lsdf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lsdf_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

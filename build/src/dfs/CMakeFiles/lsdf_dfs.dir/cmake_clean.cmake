@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsdf_dfs.dir/cluster_builder.cpp.o"
+  "CMakeFiles/lsdf_dfs.dir/cluster_builder.cpp.o.d"
+  "CMakeFiles/lsdf_dfs.dir/dfs.cpp.o"
+  "CMakeFiles/lsdf_dfs.dir/dfs.cpp.o.d"
+  "liblsdf_dfs.a"
+  "liblsdf_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsdf_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsdf_exec.dir/thread_pool.cpp.o"
+  "CMakeFiles/lsdf_exec.dir/thread_pool.cpp.o.d"
+  "liblsdf_exec.a"
+  "liblsdf_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsdf_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

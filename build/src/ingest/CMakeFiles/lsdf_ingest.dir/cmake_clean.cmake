@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsdf_ingest.dir/pipeline.cpp.o"
+  "CMakeFiles/lsdf_ingest.dir/pipeline.cpp.o.d"
+  "CMakeFiles/lsdf_ingest.dir/sources.cpp.o"
+  "CMakeFiles/lsdf_ingest.dir/sources.cpp.o.d"
+  "liblsdf_ingest.a"
+  "liblsdf_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsdf_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

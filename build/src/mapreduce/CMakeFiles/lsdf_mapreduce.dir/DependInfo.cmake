@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapreduce/job_tracker.cpp" "src/mapreduce/CMakeFiles/lsdf_mapreduce.dir/job_tracker.cpp.o" "gcc" "src/mapreduce/CMakeFiles/lsdf_mapreduce.dir/job_tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lsdf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lsdf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lsdf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/lsdf_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/lsdf_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lsdf_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

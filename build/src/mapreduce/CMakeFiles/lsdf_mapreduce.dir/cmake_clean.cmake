@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsdf_mapreduce.dir/job_tracker.cpp.o"
+  "CMakeFiles/lsdf_mapreduce.dir/job_tracker.cpp.o.d"
+  "liblsdf_mapreduce.a"
+  "liblsdf_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsdf_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

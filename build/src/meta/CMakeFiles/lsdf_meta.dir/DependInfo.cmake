@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/meta/query.cpp" "src/meta/CMakeFiles/lsdf_meta.dir/query.cpp.o" "gcc" "src/meta/CMakeFiles/lsdf_meta.dir/query.cpp.o.d"
+  "/root/repo/src/meta/query_parser.cpp" "src/meta/CMakeFiles/lsdf_meta.dir/query_parser.cpp.o" "gcc" "src/meta/CMakeFiles/lsdf_meta.dir/query_parser.cpp.o.d"
+  "/root/repo/src/meta/rules.cpp" "src/meta/CMakeFiles/lsdf_meta.dir/rules.cpp.o" "gcc" "src/meta/CMakeFiles/lsdf_meta.dir/rules.cpp.o.d"
+  "/root/repo/src/meta/serialize.cpp" "src/meta/CMakeFiles/lsdf_meta.dir/serialize.cpp.o" "gcc" "src/meta/CMakeFiles/lsdf_meta.dir/serialize.cpp.o.d"
+  "/root/repo/src/meta/store.cpp" "src/meta/CMakeFiles/lsdf_meta.dir/store.cpp.o" "gcc" "src/meta/CMakeFiles/lsdf_meta.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lsdf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

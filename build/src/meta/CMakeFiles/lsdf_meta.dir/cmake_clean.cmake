@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsdf_meta.dir/query.cpp.o"
+  "CMakeFiles/lsdf_meta.dir/query.cpp.o.d"
+  "CMakeFiles/lsdf_meta.dir/query_parser.cpp.o"
+  "CMakeFiles/lsdf_meta.dir/query_parser.cpp.o.d"
+  "CMakeFiles/lsdf_meta.dir/rules.cpp.o"
+  "CMakeFiles/lsdf_meta.dir/rules.cpp.o.d"
+  "CMakeFiles/lsdf_meta.dir/serialize.cpp.o"
+  "CMakeFiles/lsdf_meta.dir/serialize.cpp.o.d"
+  "CMakeFiles/lsdf_meta.dir/store.cpp.o"
+  "CMakeFiles/lsdf_meta.dir/store.cpp.o.d"
+  "liblsdf_meta.a"
+  "liblsdf_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsdf_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/lsdf_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/lsdf_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/transfer_engine.cpp" "src/net/CMakeFiles/lsdf_net.dir/transfer_engine.cpp.o" "gcc" "src/net/CMakeFiles/lsdf_net.dir/transfer_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lsdf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lsdf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsdf_net.dir/topology.cpp.o"
+  "CMakeFiles/lsdf_net.dir/topology.cpp.o.d"
+  "CMakeFiles/lsdf_net.dir/transfer_engine.cpp.o"
+  "CMakeFiles/lsdf_net.dir/transfer_engine.cpp.o.d"
+  "liblsdf_net.a"
+  "liblsdf_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsdf_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsdf_sim.dir/simulator.cpp.o"
+  "CMakeFiles/lsdf_sim.dir/simulator.cpp.o.d"
+  "liblsdf_sim.a"
+  "liblsdf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsdf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

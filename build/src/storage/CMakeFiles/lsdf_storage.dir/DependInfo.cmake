@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/disk_array.cpp" "src/storage/CMakeFiles/lsdf_storage.dir/disk_array.cpp.o" "gcc" "src/storage/CMakeFiles/lsdf_storage.dir/disk_array.cpp.o.d"
+  "/root/repo/src/storage/hsm_store.cpp" "src/storage/CMakeFiles/lsdf_storage.dir/hsm_store.cpp.o" "gcc" "src/storage/CMakeFiles/lsdf_storage.dir/hsm_store.cpp.o.d"
+  "/root/repo/src/storage/io_channel.cpp" "src/storage/CMakeFiles/lsdf_storage.dir/io_channel.cpp.o" "gcc" "src/storage/CMakeFiles/lsdf_storage.dir/io_channel.cpp.o.d"
+  "/root/repo/src/storage/storage_pool.cpp" "src/storage/CMakeFiles/lsdf_storage.dir/storage_pool.cpp.o" "gcc" "src/storage/CMakeFiles/lsdf_storage.dir/storage_pool.cpp.o.d"
+  "/root/repo/src/storage/tape_library.cpp" "src/storage/CMakeFiles/lsdf_storage.dir/tape_library.cpp.o" "gcc" "src/storage/CMakeFiles/lsdf_storage.dir/tape_library.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lsdf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lsdf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

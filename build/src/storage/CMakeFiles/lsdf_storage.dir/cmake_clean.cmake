@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsdf_storage.dir/disk_array.cpp.o"
+  "CMakeFiles/lsdf_storage.dir/disk_array.cpp.o.d"
+  "CMakeFiles/lsdf_storage.dir/hsm_store.cpp.o"
+  "CMakeFiles/lsdf_storage.dir/hsm_store.cpp.o.d"
+  "CMakeFiles/lsdf_storage.dir/io_channel.cpp.o"
+  "CMakeFiles/lsdf_storage.dir/io_channel.cpp.o.d"
+  "CMakeFiles/lsdf_storage.dir/storage_pool.cpp.o"
+  "CMakeFiles/lsdf_storage.dir/storage_pool.cpp.o.d"
+  "CMakeFiles/lsdf_storage.dir/tape_library.cpp.o"
+  "CMakeFiles/lsdf_storage.dir/tape_library.cpp.o.d"
+  "liblsdf_storage.a"
+  "liblsdf_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsdf_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblsdf_storage.a"
+)

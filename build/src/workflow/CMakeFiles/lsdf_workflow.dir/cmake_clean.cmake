@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsdf_workflow.dir/workflow.cpp.o"
+  "CMakeFiles/lsdf_workflow.dir/workflow.cpp.o.d"
+  "liblsdf_workflow.a"
+  "liblsdf_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsdf_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adal_test.dir/adal_test.cpp.o"
+  "CMakeFiles/adal_test.dir/adal_test.cpp.o.d"
+  "adal_test"
+  "adal_test.pdb"
+  "adal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_test.dir/cloud_test.cpp.o"
+  "CMakeFiles/cloud_test.dir/cloud_test.cpp.o.d"
+  "cloud_test"
+  "cloud_test.pdb"
+  "cloud_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_test.dir/dfs_test.cpp.o"
+  "CMakeFiles/dfs_test.dir/dfs_test.cpp.o.d"
+  "dfs_test"
+  "dfs_test.pdb"
+  "dfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facility_test.dir/facility_test.cpp.o"
+  "CMakeFiles/facility_test.dir/facility_test.cpp.o.d"
+  "facility_test"
+  "facility_test.pdb"
+  "facility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_test.dir/failover_test.cpp.o"
+  "CMakeFiles/failover_test.dir/failover_test.cpp.o.d"
+  "failover_test"
+  "failover_test.pdb"
+  "failover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairshare_test.dir/fairshare_test.cpp.o"
+  "CMakeFiles/fairshare_test.dir/fairshare_test.cpp.o.d"
+  "fairshare_test"
+  "fairshare_test.pdb"
+  "fairshare_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairshare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

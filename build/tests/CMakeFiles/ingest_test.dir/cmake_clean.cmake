@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ingest_test.dir/ingest_test.cpp.o"
+  "CMakeFiles/ingest_test.dir/ingest_test.cpp.o.d"
+  "ingest_test"
+  "ingest_test.pdb"
+  "ingest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ingest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_test.dir/mapreduce_test.cpp.o"
+  "CMakeFiles/mapreduce_test.dir/mapreduce_test.cpp.o.d"
+  "mapreduce_test"
+  "mapreduce_test.pdb"
+  "mapreduce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

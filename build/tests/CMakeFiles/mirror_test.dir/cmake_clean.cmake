@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mirror_test.dir/mirror_test.cpp.o"
+  "CMakeFiles/mirror_test.dir/mirror_test.cpp.o.d"
+  "mirror_test"
+  "mirror_test.pdb"
+  "mirror_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mirror_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistence_test.dir/persistence_test.cpp.o"
+  "CMakeFiles/persistence_test.dir/persistence_test.cpp.o.d"
+  "persistence_test"
+  "persistence_test.pdb"
+  "persistence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
