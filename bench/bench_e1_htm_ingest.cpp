@@ -22,13 +22,18 @@ struct DayResult {
   std::int64_t failed = 0;
 };
 
-DayResult run_day(double parameter_multiplier, double hours) {
+DayResult run_day(double parameter_multiplier, double hours, bool tracing) {
   core::FacilityConfig config = core::small_facility_config();
   // The E1 question is pipeline throughput, not capacity: give the scaled
   // facility enough disk for a full day of frames.
   config.ddn_capacity = 10_TB;
   config.ibm_capacity = 10_TB;
   core::Facility facility(config);
+  if (tracing) {
+    sim::Simulator& sim = facility.simulator();
+    obs::Tracer::global().use_sim_clock([&sim] { return sim.now().nanos(); });
+    obs::Tracer::global().set_pid(static_cast<int>(parameter_multiplier * 10));
+  }
   (void)facility.metadata().create_project("zebrafish-htm", {});
   ingest::SourceConfig camera = ingest::htm_microscope_source(
       facility.daq_node(), parameter_multiplier);
@@ -45,12 +50,14 @@ DayResult run_day(double parameter_multiplier, double hours) {
   result.mean_latency_s = stats.latency_seconds.mean();
   result.max_latency_s = stats.latency_seconds.max();
   result.failed = stats.failed;
+  if (tracing) obs::Tracer::global().use_steady_clock();
   return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsOptions obs_options = bench::obs_init(argc, argv);
   bench::headline(
       "E1: high-throughput microscopy ingest (slide 5)",
       "~200k images/day x 4 MB; ~2 TB/day; 1+ PB/yr 2012, 6 PB/yr 2014");
@@ -65,7 +72,8 @@ int main() {
   double raw_day_tb = 0.0;
   double full_day_tb = 0.0;
   for (const double multiplier : {1.0, 2.5}) {
-    const DayResult day = run_day(multiplier, window_hours);
+    const DayResult day =
+        run_day(multiplier, window_hours, obs_options.tracing());
     const double scale = 24.0 / window_hours;
     const double images_per_day =
         static_cast<double>(day.images) * scale;
@@ -100,5 +108,8 @@ int main() {
     bench::compare(std::string("projected PB/yr ") + projection.year,
                    projection.paper_pb, pb_per_year, "PB");
   }
+
+  bench::metrics_digest("lsdf_ingest");
+  bench::obs_dump(obs_options);
   return 0;
 }

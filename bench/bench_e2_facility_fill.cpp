@@ -14,7 +14,8 @@
 
 using namespace lsdf;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsOptions obs_options = bench::obs_init(argc, argv);
   bench::headline(
       "E2: facility storage fill & backbone load (slide 7)",
       "2 PB online in 2 systems (0.5 PB DDN + 1.4 PB IBM), 10 GE "
@@ -28,6 +29,9 @@ int main() {
   config.ingest.parallel_slots = 64;
   core::Facility facility(config);
   sim::Simulator& sim = facility.simulator();
+  if (obs_options.tracing()) {
+    obs::Tracer::global().use_sim_clock([&sim] { return sim.now().nanos(); });
+  }
 
   for (const char* project :
        {"zebrafish-htm", "katrin", "climate", "anka"}) {
@@ -134,5 +138,8 @@ int main() {
                  facility.pool().capacity().as_double() / 1e15, "PB");
   bench::compare("9-month fill (vs 0.55 PB expected at 2.1 TB/day)", 0.55,
                  final_pool_pb, "PB");
+
+  bench::metrics_digest();
+  bench::obs_dump(obs_options);
   return 0;
 }

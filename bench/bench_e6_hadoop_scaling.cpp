@@ -21,8 +21,14 @@ struct ScalePoint {
   double rack_locality = 0.0;
 };
 
-ScalePoint run_at_scale(int racks, int nodes_per_rack) {
+ScalePoint run_at_scale(int racks, int nodes_per_rack, bool tracing) {
   sim::Simulator sim;
+  // One Perfetto "process" row per cluster size: job and shuffle spans of
+  // repeated runs land in separate groups instead of overlapping.
+  if (tracing) {
+    obs::Tracer::global().use_sim_clock([&sim] { return sim.now().nanos(); });
+    obs::Tracer::global().set_pid(racks * nodes_per_rack);
+  }
   dfs::ClusterLayoutConfig layout_config;
   layout_config.racks = racks;
   layout_config.nodes_per_rack = nodes_per_rack;
@@ -62,12 +68,15 @@ ScalePoint run_at_scale(int racks, int nodes_per_rack) {
       total == 0 ? 0.0
                  : static_cast<double>(result->rack_local_maps) /
                        static_cast<double>(total);
+  // The sim-clock closure captures `sim`, which dies with this frame.
+  if (tracing) obs::Tracer::global().use_steady_clock();
   return point;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsOptions obs_options = bench::obs_init(argc, argv);
   bench::headline("E6: Hadoop cluster scaling, 110 TB HDFS (slide 11)",
                   "dedicated 60-node cluster; extreme scalability on "
                   "commodity hardware");
@@ -80,7 +89,8 @@ int main() {
   double base = 0.0;
   double speedup_at_60 = 0.0;
   for (const auto& [racks, nodes_per_rack] : scales) {
-    const ScalePoint point = run_at_scale(racks, nodes_per_rack);
+    const ScalePoint point =
+        run_at_scale(racks, nodes_per_rack, obs_options.tracing());
     if (base == 0.0) base = point.seconds * point.nodes;  // per-node norm
     const double speedup = base / point.seconds;
     const double efficiency = speedup / point.nodes;
@@ -96,5 +106,8 @@ int main() {
   bench::section("HDFS capacity check");
   bench::row("60 datanodes x 2 TB = %s raw (paper: 110 TB usable)",
              format_bytes(2_TB * 60).c_str());
+
+  bench::metrics_digest("lsdf_mapreduce");
+  bench::obs_dump(obs_options);
   return 0;
 }

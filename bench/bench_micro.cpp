@@ -17,6 +17,8 @@
 #include "meta/query.h"
 #include "meta/store.h"
 #include "net/transfer_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace lsdf {
@@ -202,6 +204,91 @@ void BM_TransferEngineReallocation(benchmark::State& state) {
   state.SetItemsProcessed(flows * state.iterations());
 }
 BENCHMARK(BM_TransferEngineReallocation)->Arg(10)->Arg(100);
+
+// --- Observability hot path (the instrumented subsystems pay this) -----------
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("bench_counter");
+  for (auto _ : state) {
+    counter.add(1);
+  }
+  benchmark::DoNotOptimize(counter.value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsCounterAddContended(benchmark::State& state) {
+  // All threads hammer one cache line — worst case for the relaxed add.
+  obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("bench_counter_contended");
+  for (auto _ : state) {
+    counter.add(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterAddContended)->Threads(4);
+
+void BM_ObsGaugeSet(benchmark::State& state) {
+  obs::Gauge& gauge = obs::MetricsRegistry::global().gauge("bench_gauge");
+  double x = 0.0;
+  for (auto _ : state) {
+    gauge.set(x);
+    x += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsGaugeSet);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::Histogram& histogram = obs::MetricsRegistry::global().histogram(
+      "bench_histogram", obs::Histogram::exponential_bounds(1e-6, 10.0, 12));
+  Rng rng(3);
+  // Pre-generated samples so the RNG is not in the measured loop.
+  std::vector<double> samples(1024);
+  for (auto& s : samples) {
+    s = static_cast<double>(rng.next_below(1000000)) * 1e-6;
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    histogram.observe(samples[i++ & 1023]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsRegistryLookup(benchmark::State& state) {
+  // The cold path: what a non-handle-holding caller would pay per update.
+  // Exists to justify the handle-based design, not to be fast.
+  auto& registry = obs::MetricsRegistry::global();
+  (void)registry.counter("bench_lookup", {{"k", "v"}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.counter("bench_lookup", {{"k", "v"}}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsRegistryLookup);
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  // The cost instrumented code pays when nobody passed --trace.
+  obs::Tracer tracer;
+  for (auto _ : state) {
+    obs::Span span(tracer, "noop", "bench");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  obs::Tracer tracer;
+  tracer.enable(true);
+  for (auto _ : state) {
+    obs::Span span(tracer, "op", "bench");
+  }
+  benchmark::DoNotOptimize(tracer.event_count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsSpanEnabled);
 
 }  // namespace
 }  // namespace lsdf

@@ -6,7 +6,11 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <fstream>
 #include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lsdf::bench {
 
@@ -38,6 +42,78 @@ inline void compare(const std::string& metric, double paper,
   std::printf("[paper-vs-measured] %-34s paper=%-10.4g measured=%-10.4g %s"
               "  (x%.2f)\n",
               metric.c_str(), paper, measured, unit.c_str(), ratio);
+}
+
+// --- Observability hooks (lsdf::obs) -----------------------------------------
+//
+// Every experiment binary accepts:
+//   --trace <file.json>    span timeline (Chrome trace_event; open in
+//                          chrome://tracing or https://ui.perfetto.dev)
+//   --metrics <file>       final metrics registry, Prometheus text format
+//   --metrics-csv <file>   same, as name,labels,field,value CSV
+// Call obs_init(argc, argv) at the top of main and obs_dump(options) at the
+// bottom. The tracer stays fully disabled unless --trace is given.
+
+struct ObsOptions {
+  std::string trace_path;
+  std::string metrics_path;
+  std::string metrics_csv_path;
+  [[nodiscard]] bool tracing() const { return !trace_path.empty(); }
+};
+
+inline ObsOptions obs_init(int argc, char** argv) {
+  ObsOptions options;
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--trace") options.trace_path = argv[i + 1];
+    if (flag == "--metrics") options.metrics_path = argv[i + 1];
+    if (flag == "--metrics-csv") options.metrics_csv_path = argv[i + 1];
+  }
+  if (options.tracing()) obs::Tracer::global().enable(true);
+  return options;
+}
+
+// Print the non-zero counters whose names start with `prefix` ("" = all) —
+// the quick "did the run actually exercise X" check.
+inline void metrics_digest(const std::string& prefix = "") {
+  section("metrics digest (non-zero counters)");
+  for (const auto& snap : obs::MetricsRegistry::global().snapshot()) {
+    if (snap.kind != obs::InstrumentKind::kCounter || snap.value == 0.0) {
+      continue;
+    }
+    if (!prefix.empty() && snap.name.rfind(prefix, 0) != 0) continue;
+    row("%-44s %16.0f", (snap.name + obs::format_labels(snap.labels)).c_str(),
+        snap.value);
+  }
+}
+
+inline void obs_dump(const ObsOptions& options) {
+  if (!options.metrics_path.empty()) {
+    std::ofstream out(options.metrics_path);
+    out << obs::MetricsRegistry::global().to_prometheus();
+    row("metrics: wrote %zu instruments to %s",
+        obs::MetricsRegistry::global().instrument_count(),
+        options.metrics_path.c_str());
+  }
+  if (!options.metrics_csv_path.empty()) {
+    std::ofstream out(options.metrics_csv_path);
+    out << obs::MetricsRegistry::global().to_csv();
+    row("metrics: wrote CSV to %s", options.metrics_csv_path.c_str());
+  }
+  if (options.tracing()) {
+    obs::Tracer& tracer = obs::Tracer::global();
+    const Status written = tracer.write_chrome_json(options.trace_path);
+    if (written.is_ok()) {
+      row("trace: wrote %zu events to %s (open in chrome://tracing or "
+          "ui.perfetto.dev)",
+          tracer.event_count(), options.trace_path.c_str());
+    } else {
+      row("trace: FAILED to write %s: %s", options.trace_path.c_str(),
+          written.message().c_str());
+    }
+    tracer.enable(false);
+    tracer.use_steady_clock();  // drop any sim-clock closure before exit
+  }
 }
 
 }  // namespace lsdf::bench

@@ -2,6 +2,7 @@
 // tests can raise the level to trace facility behaviour.
 #pragma once
 
+#include <chrono>
 #include <iostream>
 #include <mutex>
 #include <sstream>
@@ -18,11 +19,29 @@ class Log {
     return level;
   }
 
+  // When on, each line is prefixed with seconds since the first write
+  // (monotonic clock) — handy for correlating logs with a trace file.
+  static bool& timestamps() {
+    static bool on = false;
+    return on;
+  }
+
   static void write(LogLevel level, std::string_view component,
                     std::string_view message) {
+    // kOff is a threshold sentinel, never a message level: writing "at"
+    // kOff must not sneak past an kOff threshold.
+    if (level >= LogLevel::kOff) return;
     if (level < threshold()) return;
     static std::mutex mu;
     const std::scoped_lock lock(mu);
+    if (timestamps()) {
+      static const auto epoch = std::chrono::steady_clock::now();
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        epoch)
+              .count();
+      std::clog << "[" << seconds << "s] ";
+    }
     std::clog << "[" << name(level) << "] " << component << ": " << message
               << '\n';
   }

@@ -134,8 +134,11 @@ class TimeSeries {
   }
 
   // Downsample to at most `n` evenly spaced points (for printed figures).
+  // n == 0 yields an empty vector (a figure with no rows), not everything.
   [[nodiscard]] std::vector<Point> downsample(std::size_t n) const {
-    if (points_.size() <= n || n == 0) return points_;
+    if (n == 0) return {};
+    if (points_.size() <= n) return points_;
+    if (n == 1) return {points_.front()};  // avoids the n-1 division below
     std::vector<Point> out;
     out.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {

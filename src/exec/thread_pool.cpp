@@ -10,11 +10,20 @@ namespace {
 thread_local const ThreadPool* current_pool = nullptr;
 }
 
-ThreadPool::ThreadPool(unsigned thread_count) {
+ThreadPool::ThreadPool(unsigned thread_count)
+    : tasks_metric_(
+          obs::MetricsRegistry::global().counter("lsdf_exec_tasks_total")),
+      steals_metric_(
+          obs::MetricsRegistry::global().counter("lsdf_exec_steals_total")),
+      pending_metric_(
+          obs::MetricsRegistry::global().gauge("lsdf_exec_pending_tasks")) {
   LSDF_REQUIRE(thread_count > 0, "thread pool needs at least one thread");
   queues_.reserve(thread_count);
+  worker_depth_metric_.reserve(thread_count);
   for (unsigned i = 0; i < thread_count; ++i) {
     queues_.push_back(std::make_unique<WorkerQueue>());
+    worker_depth_metric_.push_back(&obs::MetricsRegistry::global().gauge(
+        "lsdf_exec_worker_queue_depth", {{"worker", std::to_string(i)}}));
   }
   workers_.reserve(thread_count);
   for (unsigned i = 0; i < thread_count; ++i) {
@@ -34,7 +43,8 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(Task task) {
   LSDF_REQUIRE(task != nullptr, "null task");
   LSDF_REQUIRE(!stopping_.load(), "submit on a stopping pool");
-  pending_.fetch_add(1, std::memory_order_acq_rel);
+  pending_metric_.set(static_cast<double>(
+      pending_.fetch_add(1, std::memory_order_acq_rel) + 1));
 
   // Prefer the current worker's own queue (keeps task trees cache-local);
   // external submitters round-robin.
@@ -48,6 +58,8 @@ void ThreadPool::submit(Task task) {
   {
     const std::lock_guard lock(queues_[target]->mutex);
     queues_[target]->tasks.push_back(std::move(task));
+    worker_depth_metric_[target]->set(
+        static_cast<double>(queues_[target]->tasks.size()));
   }
   {
     // Empty critical section pairs with the waiters' predicate check so a
@@ -63,6 +75,7 @@ bool ThreadPool::try_pop(std::size_t index, Task& task) {
   if (queue.tasks.empty()) return false;
   task = std::move(queue.tasks.front());
   queue.tasks.pop_front();
+  worker_depth_metric_[index]->set(static_cast<double>(queue.tasks.size()));
   return true;
 }
 
@@ -76,7 +89,10 @@ bool ThreadPool::try_steal(std::size_t thief, Task& task) {
     // to touch soon.
     task = std::move(queue.tasks.back());
     queue.tasks.pop_back();
+    worker_depth_metric_[victim]->set(
+        static_cast<double>(queue.tasks.size()));
     steals_.fetch_add(1, std::memory_order_relaxed);
+    steals_metric_.add(1);
     return true;
   }
   return false;
@@ -91,7 +107,11 @@ void ThreadPool::worker_loop(std::size_t index) {
       task();
       task = nullptr;
       executed_.fetch_add(1, std::memory_order_relaxed);
-      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      tasks_metric_.add(1);
+      const std::int64_t left =
+          pending_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+      pending_metric_.set(static_cast<double>(left));
+      if (left == 0) {
         {
           const std::lock_guard lock(sleep_mutex_);
         }
@@ -118,9 +138,11 @@ void ThreadPool::worker_loop(std::size_t index) {
         task();
         task = nullptr;
         executed_.fetch_add(1, std::memory_order_relaxed);
-        if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          all_idle_.notify_all();
-        }
+        tasks_metric_.add(1);
+        const std::int64_t left =
+            pending_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+        pending_metric_.set(static_cast<double>(left));
+        if (left == 0) all_idle_.notify_all();
       }
       return;
     }

@@ -20,6 +20,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace lsdf::exec {
 
 class ThreadPool {
@@ -95,6 +97,13 @@ class ThreadPool {
   std::atomic<std::int64_t> steals_{0};
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> next_queue_{0};
+
+  // Process-wide telemetry: totals as counters, load as gauges. Pools share
+  // these instruments (they describe the process's executor layer).
+  obs::Counter& tasks_metric_;
+  obs::Counter& steals_metric_;
+  obs::Gauge& pending_metric_;
+  std::vector<obs::Gauge*> worker_depth_metric_;  // per worker index
 
   // Index of the worker the current thread is, or npos on external threads.
   static thread_local std::size_t current_worker_;

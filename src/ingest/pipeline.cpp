@@ -1,8 +1,19 @@
 #include "ingest/pipeline.h"
 
 #include <memory>
+#include <string>
+
+#include "obs/trace.h"
 
 namespace lsdf::ingest {
+namespace {
+obs::Histogram& stage_histogram(const char* stage) {
+  return obs::MetricsRegistry::global().histogram(
+      "lsdf_ingest_stage_seconds",
+      obs::Histogram::exponential_bounds(1e-2, 4.0, 8),
+      {{"stage", stage}});
+}
+}  // namespace
 
 IngestPipeline::IngestPipeline(sim::Simulator& simulator,
                                net::TransferEngine& net, adal::Adal& adal,
@@ -13,9 +24,28 @@ IngestPipeline::IngestPipeline(sim::Simulator& simulator,
       adal_(adal),
       store_(store),
       config_(config),
-      slots_(simulator, config.parallel_slots, "ingest.slots") {
+      slots_(simulator, config.parallel_slots, "ingest.slots"),
+      queue_depth_metric_(
+          obs::MetricsRegistry::global().gauge("lsdf_ingest_queue_depth")),
+      ok_items_metric_(obs::MetricsRegistry::global().counter(
+          "lsdf_ingest_items_total", {{"result", "ok"}})),
+      failed_items_metric_(obs::MetricsRegistry::global().counter(
+          "lsdf_ingest_items_total", {{"result", "failed"}})),
+      rejected_items_metric_(obs::MetricsRegistry::global().counter(
+          "lsdf_ingest_items_total", {{"result", "rejected"}})),
+      bytes_metric_(
+          obs::MetricsRegistry::global().counter("lsdf_ingest_bytes_total")),
+      checksum_bytes_metric_(obs::MetricsRegistry::global().counter(
+          "lsdf_ingest_checksum_bytes_total")),
+      latency_metric_(obs::MetricsRegistry::global().histogram(
+          "lsdf_ingest_latency_seconds",
+          obs::Histogram::exponential_bounds(1e-2, 4.0, 8))),
+      transfer_stage_metric_(stage_histogram("transfer")),
+      checksum_stage_metric_(stage_histogram("checksum")),
+      store_stage_metric_(stage_histogram("store")) {
   LSDF_REQUIRE(config_.checksum_rate.bps() > 0.0,
                "checksum rate must be positive");
+  queue_depth_metric_.set(0.0);
 }
 
 void IngestPipeline::finish(IngestReport report, IngestCallback done) {
@@ -24,10 +54,23 @@ void IngestPipeline::finish(IngestReport report, IngestCallback done) {
   if (report.status.is_ok()) {
     stats_.bytes_ingested += report.size;
     stats_.latency_seconds.add(report.latency().seconds());
+    ok_items_metric_.add(1);
+    bytes_metric_.add(report.size.count());
+    latency_metric_.observe(report.latency().seconds());
   } else {
     ++stats_.failed;
+    failed_items_metric_.add(1);
   }
   slots_.release(1);
+  queue_depth_metric_.set(static_cast<double>(slots_.queue_length()));
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled() && tracer.sim_clocked()) {
+    tracer.emit_complete(
+        "ingest", "ingest", report.submitted.nanos() / 1000,
+        report.latency().nanos() / 1000,
+        {{"bytes", std::to_string(report.size.count())},
+         {"ok", report.status.is_ok() ? "true" : "false"}});
+  }
   if (done) done(report);
 }
 
@@ -41,6 +84,7 @@ void IngestPipeline::submit(IngestItem item, IngestCallback done) {
   if (config_.max_queue_depth > 0 &&
       slots_.queue_length() >= config_.max_queue_depth) {
     ++stats_.rejected;
+    rejected_items_metric_.add(1);
     report->status = resource_exhausted(
         "ingest queue full (" + std::to_string(slots_.queue_length()) +
         " waiting)");
@@ -56,6 +100,8 @@ void IngestPipeline::submit(IngestItem item, IngestCallback done) {
   auto shared_done = std::make_shared<IngestCallback>(std::move(done));
 
   slots_.acquire(1, [this, shared_item, shared_done, report] {
+    queue_depth_metric_.set(static_cast<double>(slots_.queue_length()));
+    const SimTime granted = simulator_.now();
     // Stage 1: move the data from the experiment's DAQ node to the ingest
     // head node over the facility backbone.
     net::TransferOptions options;
@@ -63,11 +109,15 @@ void IngestPipeline::submit(IngestItem item, IngestCallback done) {
     options.weight = config_.network_weight;
     const auto flow = net_.start_transfer(
         shared_item->source, config_.ingest_node, shared_item->size, options,
-        [this, shared_item, shared_done,
-         report](const net::TransferCompletion&) {
+        [this, shared_item, shared_done, report,
+         granted](const net::TransferCompletion&) {
+          transfer_stage_metric_.observe(
+              (simulator_.now() - granted).seconds());
           // Stage 2: checksum the stream (CRC32C at the scan rate).
           const SimDuration checksum_time =
               transfer_time(shared_item->size, config_.checksum_rate);
+          checksum_stage_metric_.observe(checksum_time.seconds());
+          checksum_bytes_metric_.add(shared_item->size.count());
           simulator_.schedule_after(checksum_time, [this, shared_item,
                                                     shared_done, report] {
             const std::uint32_t checksum = crc32c(shared_item->project + "/" +
@@ -81,6 +131,8 @@ void IngestPipeline::submit(IngestItem item, IngestCallback done) {
                 config_.credentials, report->uri, shared_item->size,
                 [this, shared_item, shared_done, report,
                  checksum](const storage::IoResult& write_result) {
+                  store_stage_metric_.observe(
+                      write_result.duration().seconds());
                   if (!write_result.status.is_ok()) {
                     report->status = write_result.status;
                     finish(*report, *shared_done);
@@ -111,6 +163,7 @@ void IngestPipeline::submit(IngestItem item, IngestCallback done) {
       finish(*report, *shared_done);
     }
   });
+  queue_depth_metric_.set(static_cast<double>(slots_.queue_length()));
 }
 
 }  // namespace lsdf::ingest

@@ -18,6 +18,7 @@
 #include "common/units.h"
 #include "meta/store.h"
 #include "net/transfer_engine.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace lsdf::ingest {
@@ -92,6 +93,18 @@ class IngestPipeline {
   IngestConfig config_;
   sim::Resource slots_;
   IngestStats stats_;
+
+  // Telemetry: queue depth is also what core::FacilityMonitor samples.
+  obs::Gauge& queue_depth_metric_;
+  obs::Counter& ok_items_metric_;
+  obs::Counter& failed_items_metric_;
+  obs::Counter& rejected_items_metric_;
+  obs::Counter& bytes_metric_;
+  obs::Counter& checksum_bytes_metric_;
+  obs::Histogram& latency_metric_;
+  obs::Histogram& transfer_stage_metric_;
+  obs::Histogram& checksum_stage_metric_;
+  obs::Histogram& store_stage_metric_;
 };
 
 }  // namespace lsdf::ingest

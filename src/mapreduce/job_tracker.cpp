@@ -1,8 +1,17 @@
 #include "mapreduce/job_tracker.h"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/trace.h"
 
 namespace lsdf::mapreduce {
+namespace {
+obs::Counter& locality_counter(const char* locality) {
+  return obs::MetricsRegistry::global().counter(
+      "lsdf_mapreduce_map_tasks_total", {{"locality", locality}});
+}
+}  // namespace
 
 JobTracker::JobTracker(sim::Simulator& simulator, dfs::DfsCluster& dfs,
                        net::TransferEngine& net, TrackerConfig config)
@@ -12,7 +21,22 @@ JobTracker::JobTracker(sim::Simulator& simulator, dfs::DfsCluster& dfs,
       config_(config),
       rng_(config.seed),
       map_slots_in_use_(dfs.datanode_count(), 0),
-      reduce_slots_in_use_(dfs.datanode_count(), 0) {
+      reduce_slots_in_use_(dfs.datanode_count(), 0),
+      node_local_maps_metric_(locality_counter("node")),
+      rack_local_maps_metric_(locality_counter("rack")),
+      remote_maps_metric_(locality_counter("remote")),
+      reduce_tasks_metric_(obs::MetricsRegistry::global().counter(
+          "lsdf_mapreduce_reduce_tasks_total")),
+      speculative_launched_metric_(obs::MetricsRegistry::global().counter(
+          "lsdf_mapreduce_speculative_launched_total")),
+      speculative_won_metric_(obs::MetricsRegistry::global().counter(
+          "lsdf_mapreduce_speculative_won_total")),
+      shuffle_bytes_metric_(obs::MetricsRegistry::global().counter(
+          "lsdf_mapreduce_shuffle_bytes_total")),
+      jobs_metric_(obs::MetricsRegistry::global().counter(
+          "lsdf_mapreduce_jobs_total")),
+      running_jobs_metric_(obs::MetricsRegistry::global().gauge(
+          "lsdf_mapreduce_running_jobs")) {
   LSDF_REQUIRE(dfs.datanode_count() > 0,
                "register datanodes before constructing the tracker");
   LSDF_REQUIRE(config_.map_slots_per_node > 0, "need map slots");
@@ -73,6 +97,7 @@ JobId JobTracker::submit(const JobSpec& spec, JobCallback done) {
     job.pending_maps.push_back(i);
   }
   jobs_.emplace(id, std::move(job));
+  running_jobs_metric_.set(static_cast<double>(jobs_.size()));
   simulator_.schedule_after(SimDuration::zero(), [this] { schedule(); });
   return id;
 }
@@ -189,6 +214,7 @@ bool JobTracker::assign_map(Job& job, dfs::DataNodeId node,
   }
   if (!task.attempts.empty()) {
     ++job.result.speculative_launched;
+    speculative_launched_metric_.add(1);
     task.speculating = true;
   }
   ++map_slots_in_use_[node];
@@ -271,11 +297,21 @@ void JobTracker::map_attempt_finished(JobId job_id, std::size_t task_index,
       !(attempt.node == task.attempts.front().node &&
         attempt.started == task.attempts.front().started)) {
     ++job.result.speculative_won;
+    speculative_won_metric_.add(1);
   }
   switch (attempt.locality) {
-    case dfs::Locality::kNodeLocal: ++job.result.node_local_maps; break;
-    case dfs::Locality::kRackLocal: ++job.result.rack_local_maps; break;
-    case dfs::Locality::kRemote: ++job.result.remote_maps; break;
+    case dfs::Locality::kNodeLocal:
+      ++job.result.node_local_maps;
+      node_local_maps_metric_.add(1);
+      break;
+    case dfs::Locality::kRackLocal:
+      ++job.result.rack_local_maps;
+      rack_local_maps_metric_.add(1);
+      break;
+    case dfs::Locality::kRemote:
+      ++job.result.remote_maps;
+      remote_maps_metric_.add(1);
+      break;
   }
   job.completed_map_seconds.push_back(
       (simulator_.now() - attempt.started).seconds());
@@ -283,6 +319,7 @@ void JobTracker::map_attempt_finished(JobId job_id, std::size_t task_index,
       task.size.as_double() * job.spec.map_output_ratio));
   job.map_output_at_node[attempt.node] += output;
   job.result.shuffle_bytes += output;
+  shuffle_bytes_metric_.add(output.count());
   --job.maps_remaining;
 
   if (job.maps_remaining == 0) {
@@ -360,6 +397,7 @@ void JobTracker::run_reduce(JobId job_id, dfs::DataNodeId node) {
             return;
           }
           --it->second.running_tasks;
+          reduce_tasks_metric_.add(1);
           if (--it->second.reduces_remaining == 0) {
             finish_job(it->second, Status::ok());
           }
@@ -383,6 +421,19 @@ void JobTracker::finish_job(Job& job, Status status) {
   const JobResult result = job.result;
   JobCallback done = std::move(job.done);
   jobs_.erase(job.id);
+  jobs_metric_.add(1);
+  running_jobs_metric_.set(static_cast<double>(jobs_.size()));
+  // One span per job over simulated time (sim-clocked tracers only).
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled() && tracer.sim_clocked()) {
+    tracer.emit_complete(
+        result.name.empty() ? "job" : result.name, "mapreduce",
+        result.submitted.nanos() / 1000,
+        (result.finished - result.submitted).nanos() / 1000,
+        {{"maps", std::to_string(result.map_tasks)},
+         {"reduces", std::to_string(result.reduce_tasks)},
+         {"shuffle_bytes", std::to_string(result.shuffle_bytes.count())}});
+  }
   if (done) done(result);
 }
 

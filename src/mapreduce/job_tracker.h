@@ -23,6 +23,7 @@
 #include "common/rng.h"
 #include "dfs/dfs.h"
 #include "mapreduce/job.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace lsdf::mapreduce {
@@ -117,6 +118,18 @@ class JobTracker {
   std::vector<int> map_slots_in_use_;     // per datanode
   std::vector<int> reduce_slots_in_use_;  // per datanode
   std::vector<double> slow_factor_;       // per datanode
+
+  // Telemetry. Map-task counters are split by the locality the winning
+  // attempt achieved — the signal the A1 ablation studies.
+  obs::Counter& node_local_maps_metric_;
+  obs::Counter& rack_local_maps_metric_;
+  obs::Counter& remote_maps_metric_;
+  obs::Counter& reduce_tasks_metric_;
+  obs::Counter& speculative_launched_metric_;
+  obs::Counter& speculative_won_metric_;
+  obs::Counter& shuffle_bytes_metric_;
+  obs::Counter& jobs_metric_;
+  obs::Gauge& running_jobs_metric_;
 };
 
 }  // namespace lsdf::mapreduce

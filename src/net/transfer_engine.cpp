@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 #include <unordered_map>
 
 #include "common/require.h"
+#include "obs/trace.h"
 
 namespace lsdf::net {
 namespace {
@@ -12,6 +14,48 @@ namespace {
 // infinite event chains from floating-point residue.
 constexpr double kEpsilonBytes = 1e-6;
 }  // namespace
+
+TransferEngine::TransferEngine(sim::Simulator& simulator,
+                               const Topology& topology)
+    : simulator_(simulator),
+      topology_(topology),
+      transfers_metric_(obs::MetricsRegistry::global().counter(
+          "lsdf_net_transfers_total")),
+      bytes_metric_(
+          obs::MetricsRegistry::global().counter("lsdf_net_bytes_total")),
+      duration_metric_(obs::MetricsRegistry::global().histogram(
+          "lsdf_net_transfer_seconds",
+          obs::Histogram::exponential_bounds(1e-3, 10.0, 9))),
+      active_flows_metric_(
+          obs::MetricsRegistry::global().gauge("lsdf_net_active_flows")) {}
+
+obs::Counter& TransferEngine::link_bytes_metric(LinkId link) {
+  if (link >= link_bytes_.size()) link_bytes_.resize(link + 1, nullptr);
+  if (link_bytes_[link] == nullptr) {
+    link_bytes_[link] = &obs::MetricsRegistry::global().counter(
+        "lsdf_net_link_bytes_total", {{"link", std::to_string(link)}});
+  }
+  return *link_bytes_[link];
+}
+
+void TransferEngine::record_completion(const TransferCompletion& completion,
+                                       const std::vector<LinkId>& path) {
+  transfers_metric_.add(1);
+  bytes_metric_.add(completion.size.count());
+  duration_metric_.observe(completion.duration().seconds());
+  for (const LinkId link : path) {
+    link_bytes_metric(link).add(completion.size.count());
+  }
+  // Spans carry simulated timestamps, so they only make sense on a
+  // sim-clocked tracer (a steady-clocked one would interleave wall time).
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled() && tracer.sim_clocked()) {
+    tracer.emit_complete(
+        "transfer", "net", completion.started.nanos() / 1000,
+        (completion.finished - completion.started).nanos() / 1000,
+        {{"bytes", std::to_string(completion.size.count())}});
+  }
+}
 
 Result<FlowId> TransferEngine::start_transfer(NodeId src, NodeId dst,
                                               Bytes size,
@@ -32,7 +76,10 @@ Result<FlowId> TransferEngine::start_transfer(NodeId src, NodeId dst,
     simulator_.schedule_after(
         SimDuration::zero(),
         [this, id, size, started, cb = std::move(on_complete)] {
-          if (cb) cb(TransferCompletion{id, size, started, simulator_.now()});
+          const TransferCompletion completion{id, size, started,
+                                              simulator_.now()};
+          record_completion(completion, {});
+          if (cb) cb(completion);
         });
     return id;
   }
@@ -57,6 +104,7 @@ Result<FlowId> TransferEngine::start_transfer(NodeId src, NodeId dst,
         flow.started = started;
         flow.on_complete = std::move(cb);
         flows_.emplace(id, std::move(flow));
+        active_flows_metric_.set(static_cast<double>(flows_.size()));
         reallocate();
       });
   return id;
@@ -67,6 +115,7 @@ bool TransferEngine::cancel(FlowId id) {
   const auto it = flows_.find(id);
   if (it == flows_.end()) return false;
   flows_.erase(it);
+  active_flows_metric_.set(static_cast<double>(flows_.size()));
   reallocate();
   return true;
 }
@@ -103,15 +152,17 @@ void TransferEngine::advance_progress() {
       ++it;
     }
   }
+  if (!finished.empty()) {
+    active_flows_metric_.set(static_cast<double>(flows_.size()));
+  }
   for (Flow& flow : finished) complete_flow(std::move(flow));
 }
 
 void TransferEngine::complete_flow(Flow flow) {
-  if (flow.on_complete) {
-    flow.on_complete(
-        TransferCompletion{flow.id, flow.size, flow.started,
-                           simulator_.now()});
-  }
+  const TransferCompletion completion{flow.id, flow.size, flow.started,
+                                      simulator_.now()};
+  record_completion(completion, flow.path);
+  if (flow.on_complete) flow.on_complete(completion);
 }
 
 void TransferEngine::resync() {

@@ -18,6 +18,7 @@
 #include "common/status.h"
 #include "common/units.h"
 #include "net/topology.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace lsdf::net {
@@ -50,8 +51,7 @@ class TransferEngine {
  public:
   using CompletionCallback = std::function<void(const TransferCompletion&)>;
 
-  TransferEngine(sim::Simulator& simulator, const Topology& topology)
-      : simulator_(simulator), topology_(topology) {}
+  TransferEngine(sim::Simulator& simulator, const Topology& topology);
 
   // Begin moving `size` bytes from `src` to `dst`. The flow becomes active
   // after the path's propagation latency and `on_complete` fires when the
@@ -105,6 +105,12 @@ class TransferEngine {
 
   void repath_flows();
 
+  // Telemetry: completion totals, duration distribution, live-flow gauge
+  // and lazily created per-link byte counters (labels: link id).
+  void record_completion(const TransferCompletion& completion,
+                         const std::vector<LinkId>& path);
+  obs::Counter& link_bytes_metric(LinkId link);
+
   sim::Simulator& simulator_;
   const Topology& topology_;
   std::map<FlowId, Flow> flows_;
@@ -113,6 +119,12 @@ class TransferEngine {
   std::uint64_t seen_topology_version_ = 0;
   sim::EventId pending_completion_{};
   bool completion_scheduled_ = false;
+
+  obs::Counter& transfers_metric_;
+  obs::Counter& bytes_metric_;
+  obs::Histogram& duration_metric_;
+  obs::Gauge& active_flows_metric_;
+  std::vector<obs::Counter*> link_bytes_;  // indexed by LinkId
 };
 
 }  // namespace lsdf::net

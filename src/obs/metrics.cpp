@@ -1,0 +1,331 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/require.h"
+
+namespace lsdf::obs {
+
+void Gauge::add(double delta) {
+  // Rare path (gauges are usually set, not accumulated): CAS loop keeps it
+  // correct under concurrent adders.
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::bind(std::function<double()> provider) {
+  LSDF_REQUIRE(provider != nullptr, "binding a null gauge provider");
+  const std::scoped_lock lock(provider_mutex_);
+  provider_ = std::move(provider);
+  bound_.store(true, std::memory_order_release);
+}
+
+void Gauge::unbind() {
+  const std::scoped_lock lock(provider_mutex_);
+  if (!provider_) return;
+  value_.store(provider_(), std::memory_order_relaxed);
+  provider_ = nullptr;
+  bound_.store(false, std::memory_order_release);
+}
+
+double Gauge::value() const {
+  if (bound_.load(std::memory_order_acquire)) {
+    const std::scoped_lock lock(provider_mutex_);
+    if (provider_) return provider_();
+  }
+  return value_.load(std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  LSDF_REQUIRE(!bounds_.empty(), "histogram needs at least one bound");
+  LSDF_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                   std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                       bounds_.end(),
+               "histogram bounds must be strictly increasing");
+  buckets_.resize(bounds_.size() + 1);  // + implicit +Inf bucket
+}
+
+void Histogram::observe(double x) {
+  // Prometheus `le` buckets: bucket i counts x <= bounds[i]; values above
+  // every bound land in the implicit +Inf bucket.
+  const auto le = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const auto idx = static_cast<std::size_t>(le - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  std::size_t count) {
+  LSDF_REQUIRE(start > 0.0, "exponential bounds need a positive start");
+  LSDF_REQUIRE(factor > 1.0, "exponential bounds need factor > 1");
+  LSDF_REQUIRE(count > 0, "exponential bounds need at least one bucket");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+std::string MetricsRegistry::key_of(const std::string& name,
+                                    const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name;
+  for (const auto& [k, v] : sorted) {
+    key += '\x1f';  // unit separator: cannot appear in sane label text
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::find(const std::string& name,
+                                                    const Labels& labels) const {
+  const auto it = entries_.find(key_of(name, labels));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  const std::scoped_lock lock(mutex_);
+  const std::string key = key_of(name, labels);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    LSDF_REQUIRE(it->second.kind == InstrumentKind::kCounter,
+                 name + " already registered as a different kind");
+    return *it->second.counter;
+  }
+  Counter& instrument = counters_.emplace_back();
+  entries_.emplace(key, Entry{name, labels, InstrumentKind::kCounter,
+                              &instrument, nullptr, nullptr});
+  return instrument;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  const std::scoped_lock lock(mutex_);
+  const std::string key = key_of(name, labels);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    LSDF_REQUIRE(it->second.kind == InstrumentKind::kGauge,
+                 name + " already registered as a different kind");
+    return *it->second.gauge;
+  }
+  Gauge& instrument = gauges_.emplace_back();
+  entries_.emplace(key, Entry{name, labels, InstrumentKind::kGauge, nullptr,
+                              &instrument, nullptr});
+  return instrument;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const Labels& labels) {
+  const std::scoped_lock lock(mutex_);
+  const std::string key = key_of(name, labels);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    LSDF_REQUIRE(it->second.kind == InstrumentKind::kHistogram,
+                 name + " already registered as a different kind");
+    return *it->second.histogram;
+  }
+  Histogram& instrument = histograms_.emplace_back(std::move(bounds));
+  entries_.emplace(key, Entry{name, labels, InstrumentKind::kHistogram,
+                              nullptr, nullptr, &instrument});
+  return instrument;
+}
+
+double MetricsRegistry::gauge_value(const std::string& name,
+                                    const Labels& labels) const {
+  const std::scoped_lock lock(mutex_);
+  const Entry* entry = find(name, labels);
+  if (entry == nullptr || entry->kind != InstrumentKind::kGauge) return 0.0;
+  return entry->gauge->value();
+}
+
+std::int64_t MetricsRegistry::counter_value(const std::string& name,
+                                            const Labels& labels) const {
+  const std::scoped_lock lock(mutex_);
+  const Entry* entry = find(name, labels);
+  if (entry == nullptr || entry->kind != InstrumentKind::kCounter) return 0;
+  return entry->counter->value();
+}
+
+std::int64_t MetricsRegistry::counter_total(const std::string& name) const {
+  const std::scoped_lock lock(mutex_);
+  std::int64_t total = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.name == name && entry.kind == InstrumentKind::kCounter) {
+      total += entry.counter->value();
+    }
+  }
+  return total;
+}
+
+std::vector<InstrumentSnapshot> MetricsRegistry::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<InstrumentSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    InstrumentSnapshot snap;
+    snap.name = entry.name;
+    snap.labels = entry.labels;
+    snap.kind = entry.kind;
+    switch (entry.kind) {
+      case InstrumentKind::kCounter:
+        snap.value = static_cast<double>(entry.counter->value());
+        break;
+      case InstrumentKind::kGauge:
+        snap.value = entry.gauge->value();
+        break;
+      case InstrumentKind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        snap.value = h.sum();
+        snap.count = h.count();
+        std::int64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.bucket_count(i);
+          snap.cumulative_buckets.emplace_back(h.bounds()[i], cumulative);
+        }
+        cumulative += h.bucket_count(h.bounds().size());
+        snap.cumulative_buckets.emplace_back(
+            std::numeric_limits<double>::infinity(), cumulative);
+        break;
+      }
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::string format_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::ostringstream out;
+  out << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out << ',';
+    first = false;
+    out << k << "=\"" << v << '"';
+  }
+  out << '}';
+  return out.str();
+}
+
+namespace {
+
+// Prometheus-style number rendering: integers stay integral, infinities
+// become "+Inf".
+std::string render_value(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+Labels with_le(const Labels& labels, double bound) {
+  Labels out = labels;
+  out.emplace_back("le", render_value(bound));
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus() const {
+  const std::vector<InstrumentSnapshot> snaps = snapshot();
+  std::ostringstream out;
+  std::string last_typed;
+  for (const InstrumentSnapshot& snap : snaps) {
+    if (snap.name != last_typed) {
+      const char* type = snap.kind == InstrumentKind::kCounter ? "counter"
+                         : snap.kind == InstrumentKind::kGauge ? "gauge"
+                                                               : "histogram";
+      out << "# TYPE " << snap.name << ' ' << type << '\n';
+      last_typed = snap.name;
+    }
+    switch (snap.kind) {
+      case InstrumentKind::kCounter:
+      case InstrumentKind::kGauge:
+        out << snap.name << format_labels(snap.labels) << ' '
+            << render_value(snap.value) << '\n';
+        break;
+      case InstrumentKind::kHistogram:
+        for (const auto& [bound, cumulative] : snap.cumulative_buckets) {
+          out << snap.name << "_bucket"
+              << format_labels(with_le(snap.labels, bound)) << ' '
+              << cumulative << '\n';
+        }
+        out << snap.name << "_sum" << format_labels(snap.labels) << ' '
+            << render_value(snap.value) << '\n';
+        out << snap.name << "_count" << format_labels(snap.labels) << ' '
+            << snap.count << '\n';
+        break;
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::to_csv() const {
+  const std::vector<InstrumentSnapshot> snaps = snapshot();
+  std::ostringstream out;
+  out << "name,labels,field,value\n";
+  for (const InstrumentSnapshot& snap : snaps) {
+    const std::string labels = format_labels(snap.labels);
+    switch (snap.kind) {
+      case InstrumentKind::kCounter:
+      case InstrumentKind::kGauge:
+        out << snap.name << ",\"" << labels << "\",value,"
+            << render_value(snap.value) << '\n';
+        break;
+      case InstrumentKind::kHistogram:
+        out << snap.name << ",\"" << labels << "\",sum,"
+            << render_value(snap.value) << '\n';
+        out << snap.name << ",\"" << labels << "\",count," << snap.count
+            << '\n';
+        for (const auto& [bound, cumulative] : snap.cumulative_buckets) {
+          out << snap.name << ",\"" << labels << "\",le_"
+              << render_value(bound) << ',' << cumulative << '\n';
+        }
+        break;
+    }
+  }
+  return out.str();
+}
+
+void MetricsRegistry::reset_values() {
+  const std::scoped_lock lock(mutex_);
+  for (auto& counter : counters_) counter.reset();
+  for (auto& histogram : histograms_) histogram.reset();
+  for (auto& gauge : gauges_) {
+    if (!gauge.bound()) gauge.set(0.0);
+  }
+}
+
+std::size_t MetricsRegistry::instrument_count() const {
+  const std::scoped_lock lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace lsdf::obs

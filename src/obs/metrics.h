@@ -1,0 +1,188 @@
+// MetricsRegistry: process-wide registry of named, labelled instruments —
+// the facility-wide telemetry layer (the operational view of paper slide 15,
+// and what Rucio-class facilities treat as a first-class subsystem).
+//
+// Design rules:
+//  * Handle-based updates: callers resolve an instrument once (one lock,
+//    one map lookup) and then update it through a stable reference. The hot
+//    path — Counter::add, Gauge::set, Histogram::observe — is a relaxed
+//    atomic operation, never a lock or a lookup.
+//  * Instruments live as long as the registry (node-stable storage); handles
+//    returned by the registry never dangle.
+//  * Gauges can either be set directly or bound to a provider callback
+//    (sampled at read time); providers must be unbound before the object
+//    they read from dies — unbinding freezes the last value.
+//  * Export: Prometheus text exposition, CSV, and a merged Snapshot struct.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lsdf::obs {
+
+// Label set: (key, value) pairs. Kept small (0-2 labels in practice);
+// canonicalised (sorted by key) when used as a registry key.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class InstrumentKind { kCounter, kGauge, kHistogram };
+
+// Monotonic event count. add() is a single relaxed fetch_add.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Point-in-time value. Either set directly (atomic store) or bound to a
+// provider callback sampled at read time.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta);
+
+  // Bind a provider: value() and exports call it instead of the stored
+  // value. Rebinding replaces the previous provider.
+  void bind(std::function<double()> provider);
+  // Freeze the current provider value into the gauge and drop the provider.
+  // Safe to call when unbound (no-op).
+  void unbind();
+  [[nodiscard]] bool bound() const {
+    return bound_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] double value() const;
+
+ private:
+  std::atomic<double> value_{0.0};
+  std::atomic<bool> bound_{false};
+  mutable std::mutex provider_mutex_;
+  std::function<double()> provider_;
+};
+
+// Fixed-boundary histogram (Prometheus semantics: cumulative buckets on
+// export, plus sum and count; an implicit +Inf bucket catches overflow).
+// observe() is a short bounds scan plus two relaxed atomic adds.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x);
+
+  [[nodiscard]] std::int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  // Non-cumulative count of bucket i (i == bounds().size() is +Inf).
+  [[nodiscard]] std::int64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+  // `count` boundaries growing geometrically from `start` by `factor`.
+  [[nodiscard]] static std::vector<double> exponential_bounds(double start,
+                                                              double factor,
+                                                              std::size_t count);
+
+ private:
+  std::vector<double> bounds_;  // strictly increasing upper bounds
+  std::deque<std::atomic<std::int64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// One instrument flattened for consumers (monitor sampling, bench reports).
+struct InstrumentSnapshot {
+  std::string name;
+  Labels labels;
+  InstrumentKind kind = InstrumentKind::kCounter;
+  double value = 0.0;        // counter value / gauge value / histogram sum
+  std::int64_t count = 0;    // histogram observation count
+  // Histogram only: (upper bound, cumulative count) pairs; the final entry
+  // is (+Inf, total count).
+  std::vector<std::pair<double, std::int64_t>> cumulative_buckets;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry every subsystem instruments into.
+  [[nodiscard]] static MetricsRegistry& global();
+
+  // Get-or-create. Re-registering the same (name, labels) returns the same
+  // instrument; registering an existing key as a different kind is a
+  // contract violation. References stay valid for the registry's lifetime.
+  [[nodiscard]] Counter& counter(const std::string& name,
+                                 const Labels& labels = {});
+  [[nodiscard]] Gauge& gauge(const std::string& name,
+                             const Labels& labels = {});
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     std::vector<double> bounds,
+                                     const Labels& labels = {});
+
+  // Read helpers (0 / nullptr when the instrument does not exist).
+  [[nodiscard]] double gauge_value(const std::string& name,
+                                   const Labels& labels = {}) const;
+  [[nodiscard]] std::int64_t counter_value(const std::string& name,
+                                           const Labels& labels = {}) const;
+  // Sum of a counter across every label set registered under `name`.
+  [[nodiscard]] std::int64_t counter_total(const std::string& name) const;
+
+  [[nodiscard]] std::vector<InstrumentSnapshot> snapshot() const;
+  // Prometheus text exposition format (counters get a _total-less name as
+  // registered; histograms expand to _bucket/_sum/_count).
+  [[nodiscard]] std::string to_prometheus() const;
+  // CSV: name,labels,field,value — one row per scalar.
+  [[nodiscard]] std::string to_csv() const;
+
+  // Zero every counter and histogram and every unbound gauge; instruments
+  // and handles stay valid. For tests and bench isolation.
+  void reset_values();
+
+  [[nodiscard]] std::size_t instrument_count() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Labels labels;
+    InstrumentKind kind;
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    Histogram* histogram = nullptr;
+  };
+
+  [[nodiscard]] static std::string key_of(const std::string& name,
+                                          const Labels& labels);
+  [[nodiscard]] const Entry* find(const std::string& name,
+                                  const Labels& labels) const;
+
+  mutable std::mutex mutex_;
+  // Node-stable instrument storage: deques never move elements.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::map<std::string, Entry> entries_;  // canonical key -> entry
+};
+
+// Canonical label-set renderer: {k="v",k2="v2"} (empty string when empty).
+[[nodiscard]] std::string format_labels(const Labels& labels);
+
+}  // namespace lsdf::obs

@@ -1,0 +1,162 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace lsdf::obs {
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::use_sim_clock(std::function<std::int64_t()> now_nanos) {
+  const std::scoped_lock lock(mutex_);
+  sim_clock_nanos_ = std::move(now_nanos);
+  sim_clocked_.store(sim_clock_nanos_ != nullptr,
+                     std::memory_order_relaxed);
+}
+
+void Tracer::use_steady_clock() {
+  const std::scoped_lock lock(mutex_);
+  sim_clock_nanos_ = nullptr;
+  sim_clocked_.store(false, std::memory_order_relaxed);
+}
+
+std::int64_t Tracer::now_us() const {
+  if (sim_clocked_.load(std::memory_order_relaxed)) {
+    const std::scoped_lock lock(mutex_);
+    if (sim_clock_nanos_) return sim_clock_nanos_() / 1000;
+  }
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+int Tracer::tid_of_current_thread() {
+  // Caller holds mutex_. Sim-clocked traces are single-timeline by design.
+  if (sim_clocked_.load(std::memory_order_relaxed)) return 0;
+  const auto [it, inserted] = thread_ids_.emplace(
+      std::this_thread::get_id(), static_cast<int>(thread_ids_.size()) + 1);
+  return it->second;
+}
+
+void Tracer::emit_complete(
+    std::string name, std::string category, std::int64_t start_us,
+    std::int64_t duration_us,
+    std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled()) return;
+  const std::scoped_lock lock(mutex_);
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'X';
+  event.timestamp_us = start_us;
+  event.duration_us = duration_us;
+  event.pid = pid_.load(std::memory_order_relaxed);
+  event.tid = tid_of_current_thread();
+  event.args = std::move(args);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::emit_instant(
+    std::string name, std::string category,
+    std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled()) return;
+  const std::int64_t now = now_us();
+  const std::scoped_lock lock(mutex_);
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'i';
+  event.timestamp_us = now;
+  event.pid = pid_.load(std::memory_order_relaxed);
+  event.tid = tid_of_current_thread();
+  event.args = std::move(args);
+  events_.push_back(std::move(event));
+}
+
+std::size_t Tracer::event_count() const {
+  const std::scoped_lock lock(mutex_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  const std::scoped_lock lock(mutex_);
+  events_.clear();
+  thread_ids_.clear();
+}
+
+namespace {
+
+void append_json_escaped(std::ostringstream& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out << buffer;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string Tracer::to_chrome_json() const {
+  const std::scoped_lock lock(mutex_);
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events_) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"";
+    append_json_escaped(out, event.name);
+    out << "\",\"cat\":\"";
+    append_json_escaped(out, event.category);
+    out << "\",\"ph\":\"" << event.phase << "\",\"ts\":" << event.timestamp_us
+        << ",\"pid\":" << event.pid << ",\"tid\":" << event.tid;
+    if (event.phase == 'X') out << ",\"dur\":" << event.duration_us;
+    if (event.phase == 'i') out << ",\"s\":\"t\"";
+    if (!event.args.empty()) {
+      out << ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [key, value] : event.args) {
+        if (!first_arg) out << ',';
+        first_arg = false;
+        out << '"';
+        append_json_escaped(out, key);
+        out << "\":\"";
+        append_json_escaped(out, value);
+        out << '"';
+      }
+      out << '}';
+    }
+    out << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+Status Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status(StatusCode::kUnavailable, "cannot open " + path);
+  file << to_chrome_json() << '\n';
+  if (!file.good()) {
+    return Status(StatusCode::kUnavailable, "short write to " + path);
+  }
+  return Status::ok();
+}
+
+}  // namespace lsdf::obs

@@ -1,0 +1,141 @@
+// Structured span tracing with Chrome trace_event JSON export, so any bench
+// or test run opens directly in chrome://tracing / Perfetto.
+//
+// Dual clock: a tracer either runs on the process steady_clock (real
+// execution: ThreadPool work, checksumming) or on a caller-supplied
+// simulated clock (a sim::Simulator's now()), so simulated facility
+// timelines and wall-clock timelines use the same machinery. Disabled
+// tracers cost one relaxed atomic load per span site.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lsdf::obs {
+
+// One Chrome trace_event; only the "X" (complete) and "i" (instant) phases
+// are emitted — enough for span timelines.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';
+  std::int64_t timestamp_us = 0;
+  std::int64_t duration_us = 0;
+  int pid = 1;
+  int tid = 0;
+  // Optional metadata shown in the Perfetto side panel.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // The process-wide tracer the subsystems and benches emit into.
+  [[nodiscard]] static Tracer& global();
+
+  void enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Clock selection. The simulated clock returns nanoseconds of simulated
+  // time (e.g. [&sim] { return sim.now().nanos(); }); it must outlive every
+  // span emitted against it — benches call use_steady_clock() (or keep the
+  // tracer disabled) once their simulator dies.
+  void use_sim_clock(std::function<std::int64_t()> now_nanos);
+  void use_steady_clock();
+  [[nodiscard]] bool sim_clocked() const {
+    return sim_clocked_.load(std::memory_order_relaxed);
+  }
+
+  // Current trace timestamp in microseconds on the active clock.
+  [[nodiscard]] std::int64_t now_us() const;
+
+  // Perfetto groups rows by pid; benches use it to separate repeated runs
+  // (e.g. one Hadoop-scaling cluster size per process row).
+  void set_pid(int pid) { pid_.store(pid, std::memory_order_relaxed); }
+
+  // Emit a complete ("X") event covering [start_us, start_us + duration].
+  void emit_complete(
+      std::string name, std::string category, std::int64_t start_us,
+      std::int64_t duration_us,
+      std::vector<std::pair<std::string, std::string>> args = {});
+  // Emit an instant ("i") event at now.
+  void emit_instant(
+      std::string name, std::string category,
+      std::vector<std::pair<std::string, std::string>> args = {});
+
+  [[nodiscard]] std::size_t event_count() const;
+  void clear();
+
+  // JSON object {"traceEvents": [...], "displayTimeUnit": "ms"} — the
+  // format chrome://tracing and Perfetto load directly.
+  [[nodiscard]] std::string to_chrome_json() const;
+  [[nodiscard]] Status write_chrome_json(const std::string& path) const;
+
+ private:
+  [[nodiscard]] int tid_of_current_thread();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<bool> sim_clocked_{false};
+  std::atomic<int> pid_{1};
+  mutable std::mutex mutex_;
+  std::function<std::int64_t()> sim_clock_nanos_;
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+  std::vector<TraceEvent> events_;
+  std::unordered_map<std::thread::id, int> thread_ids_;
+};
+
+// RAII scoped span: records start on construction and emits a complete
+// event on destruction. ~Free when the tracer is disabled.
+class Span {
+ public:
+  Span(Tracer& tracer, std::string name, std::string category = "lsdf")
+      : tracer_(tracer), active_(tracer.enabled()) {
+    if (active_) {
+      name_ = std::move(name);
+      category_ = std::move(category);
+      start_us_ = tracer_.now_us();
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { finish(); }
+
+  // Attach metadata shown in the trace viewer.
+  void annotate(std::string key, std::string value) {
+    if (active_) args_.emplace_back(std::move(key), std::move(value));
+  }
+
+  // End the span early (idempotent).
+  void finish() {
+    if (!active_) return;
+    active_ = false;
+    tracer_.emit_complete(std::move(name_), std::move(category_), start_us_,
+                          tracer_.now_us() - start_us_, std::move(args_));
+  }
+
+ private:
+  Tracer& tracer_;
+  bool active_;
+  std::string name_;
+  std::string category_;
+  std::int64_t start_us_ = 0;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+}  // namespace lsdf::obs

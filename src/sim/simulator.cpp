@@ -4,11 +4,20 @@
 
 namespace lsdf::sim {
 
+Simulator::Simulator()
+    : events_metric_(
+          obs::MetricsRegistry::global().counter("lsdf_sim_events_total")),
+      queue_depth_metric_(
+          obs::MetricsRegistry::global().gauge("lsdf_sim_queue_depth")),
+      event_lag_metric_(obs::MetricsRegistry::global().histogram(
+          "lsdf_sim_event_lag_seconds",
+          obs::Histogram::exponential_bounds(1e-6, 10.0, 12))) {}
+
 EventId Simulator::schedule_at(SimTime t, Callback callback) {
   LSDF_REQUIRE(t >= now_, "cannot schedule an event in the simulated past");
   LSDF_REQUIRE(callback != nullptr, "null event callback");
   const std::uint64_t id = next_id_++;
-  queue_.push(QueueEntry{t, next_seq_++, id});
+  queue_.push(QueueEntry{t, next_seq_++, id, now_});
   callbacks_.emplace(id, std::move(callback));
   ++live_events_;
   return EventId{id};
@@ -37,6 +46,9 @@ bool Simulator::step() {
   --live_events_;
   now_ = entry.time;
   ++executed_;
+  events_metric_.add(1);
+  queue_depth_metric_.set(static_cast<double>(live_events_));
+  event_lag_metric_.observe((entry.time - entry.enqueued).seconds());
   callback();
   return true;
 }

@@ -17,6 +17,7 @@
 
 #include "common/require.h"
 #include "common/units.h"
+#include "obs/metrics.h"
 
 namespace lsdf::sim {
 
@@ -30,7 +31,7 @@ class Simulator {
  public:
   using Callback = std::function<void()>;
 
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -71,6 +72,7 @@ class Simulator {
     SimTime time;
     std::uint64_t seq;
     std::uint64_t id;
+    SimTime enqueued;  // when schedule_at ran, for the queue-dwell metric
     // Min-heap on (time, seq): earlier time first, FIFO within a timestamp.
     friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
       if (a.time != b.time) return a.time > b.time;
@@ -90,6 +92,12 @@ class Simulator {
                       std::greater<QueueEntry>>
       queue_;
   std::unordered_map<std::uint64_t, Callback> callbacks_;
+
+  // Process-wide telemetry (obs/metrics.h): handles resolved once here,
+  // updated with relaxed atomics in step().
+  obs::Counter& events_metric_;
+  obs::Gauge& queue_depth_metric_;
+  obs::Histogram& event_lag_metric_;
 };
 
 // A counted resource with a FIFO wait queue — e.g. tape drives, ingest

@@ -6,9 +6,18 @@ DiskArray::DiskArray(sim::Simulator& simulator, DiskArrayConfig config)
     : simulator_(simulator),
       config_(std::move(config)),
       channel_(simulator, config_.aggregate_bandwidth,
-               config_.per_stream_cap) {
+               config_.per_stream_cap),
+      read_bytes_metric_(obs::MetricsRegistry::global().counter(
+          "lsdf_disk_bytes_total",
+          {{"array", config_.name}, {"op", "read"}})),
+      write_bytes_metric_(obs::MetricsRegistry::global().counter(
+          "lsdf_disk_bytes_total",
+          {{"array", config_.name}, {"op", "write"}})),
+      used_metric_(obs::MetricsRegistry::global().gauge(
+          "lsdf_disk_used_bytes", {{"array", config_.name}})) {
   LSDF_REQUIRE(config_.capacity > Bytes::zero(),
                "disk array needs positive capacity");
+  used_metric_.set(0.0);
 }
 
 Status DiskArray::reserve(Bytes amount) {
@@ -19,6 +28,7 @@ Status DiskArray::reserve(Bytes amount) {
                               format_bytes(free()) + " free");
   }
   used_ += amount;
+  used_metric_.set(used_.as_double());
   return Status::ok();
 }
 
@@ -26,6 +36,7 @@ void DiskArray::release(Bytes amount) {
   LSDF_REQUIRE(amount >= Bytes::zero() && amount <= used_,
                "releasing more than reserved on " + config_.name);
   used_ -= amount;
+  used_metric_.set(used_.as_double());
 }
 
 void DiskArray::read(Bytes size, IoCallback done) {
@@ -60,9 +71,11 @@ void DiskArray::perform(Bytes size, bool is_write, IoCallback done) {
           if (is_write) {
             write_latency_.add(result.duration().seconds());
             bytes_written_ += size;
+            write_bytes_metric_.add(size.count());
           } else {
             read_latency_.add(result.duration().seconds());
             bytes_read_ += size;
+            read_bytes_metric_.add(size.count());
           }
           if (done) done(result);
         });

@@ -10,6 +10,7 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/units.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "storage/io_channel.h"
 
@@ -86,6 +87,11 @@ class DiskArray {
   RunningStats write_latency_;
   Bytes bytes_read_;
   Bytes bytes_written_;
+
+  // Telemetry, labelled by array name (ddn / ibm / archive-cache / ...).
+  obs::Counter& read_bytes_metric_;
+  obs::Counter& write_bytes_metric_;
+  obs::Gauge& used_metric_;
 };
 
 }  // namespace lsdf::storage

@@ -11,7 +11,22 @@ HsmStore::HsmStore(sim::Simulator& simulator, DiskArray& cache,
       cache_(cache),
       tape_(tape),
       config_(config),
-      scanner_(simulator, config.scan_period, [this] { scan(); }) {
+      scanner_(simulator, config.scan_period, [this] { scan(); }),
+      migrations_metric_(obs::MetricsRegistry::global().counter(
+          "lsdf_hsm_migrations_total")),
+      stages_metric_(
+          obs::MetricsRegistry::global().counter("lsdf_hsm_stages_total")),
+      evictions_metric_(obs::MetricsRegistry::global().counter(
+          "lsdf_hsm_evictions_total")),
+      direct_reads_metric_(obs::MetricsRegistry::global().counter(
+          "lsdf_hsm_tape_direct_reads_total")),
+      bytes_migrated_metric_(obs::MetricsRegistry::global().counter(
+          "lsdf_hsm_bytes_migrated_total")),
+      bytes_staged_metric_(obs::MetricsRegistry::global().counter(
+          "lsdf_hsm_bytes_staged_total")),
+      recall_latency_metric_(obs::MetricsRegistry::global().histogram(
+          "lsdf_hsm_recall_latency_seconds",
+          obs::Histogram::exponential_bounds(1.0, 3.0, 9))) {
   LSDF_REQUIRE(config_.low_watermark <= config_.high_watermark,
                "low watermark above high watermark");
   LSDF_REQUIRE(config_.high_watermark <= 1.0, "watermark above 1.0");
@@ -135,6 +150,8 @@ void HsmStore::migrate(const std::string& object, Entry& entry) {
       it->second.tape_resident = true;
       ++stats_.migrations;
       stats_.bytes_migrated += result.size;
+      migrations_metric_.add(1);
+      bytes_migrated_metric_.add(result.size.count());
     }
   });
 }
@@ -171,6 +188,7 @@ void HsmStore::evict_until_low_watermark() {
     entry.disk_resident = false;
     cache_.release(entry.size);
     ++stats_.evictions;
+    evictions_metric_.add(1);
   }
 }
 
@@ -192,6 +210,7 @@ void HsmStore::stage_then_read(const std::string& object, IoCallback done) {
   if (!reserved.is_ok()) {
     // Cache full of unevictable data: serve directly from tape.
     ++stats_.tape_direct_reads;
+    direct_reads_metric_.add(1);
     tape_.recall(object, [done = std::move(done)](const TapeResult& result) {
       if (done) {
         done(IoResult{result.status, result.started, result.finished,
@@ -202,7 +221,9 @@ void HsmStore::stage_then_read(const std::string& object, IoCallback done) {
   }
   entry.staging = true;
   ++stats_.tape_stages;
-  tape_.recall(object, [this, object, done = std::move(done)](
+  stages_metric_.add(1);
+  tape_.recall(object, [this, object, request_start,
+                        done = std::move(done)](
                            const TapeResult& result) mutable {
     const auto it = objects_.find(object);
     if (it == objects_.end()) return;
@@ -219,6 +240,9 @@ void HsmStore::stage_then_read(const std::string& object, IoCallback done) {
     staged.disk_resident = true;
     staged.last_access = simulator_.now();
     stats_.bytes_staged += result.size;
+    bytes_staged_metric_.add(result.size.count());
+    recall_latency_metric_.observe(
+        (simulator_.now() - request_start).seconds());
     // The staged copy is now on disk; the caller's read streams from disk.
     cache_.read(staged.size, std::move(done));
   });

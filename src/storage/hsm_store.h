@@ -13,6 +13,7 @@
 
 #include "common/status.h"
 #include "common/units.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "storage/disk_array.h"
 #include "storage/tape_library.h"
@@ -104,6 +105,15 @@ class HsmStore {
   sim::PeriodicTask scanner_;
   std::map<std::string, Entry> objects_;
   HsmStats stats_;
+
+  // Telemetry (mirrors HsmStats, plus a recall-latency distribution).
+  obs::Counter& migrations_metric_;
+  obs::Counter& stages_metric_;
+  obs::Counter& evictions_metric_;
+  obs::Counter& direct_reads_metric_;
+  obs::Counter& bytes_migrated_metric_;
+  obs::Counter& bytes_staged_metric_;
+  obs::Histogram& recall_latency_metric_;
 };
 
 }  // namespace lsdf::storage

@@ -11,7 +11,20 @@ TapeLibrary::TapeLibrary(sim::Simulator& simulator, TapeConfig config)
       drives_(static_cast<std::size_t>(config_.drive_count)),
       robot_(simulator, 1, config_.name + ".robot"),
       cartridge_fill_(static_cast<std::size_t>(config_.cartridge_count)),
-      cartridge_dead_(static_cast<std::size_t>(config_.cartridge_count)) {
+      cartridge_dead_(static_cast<std::size_t>(config_.cartridge_count)),
+      archive_bytes_metric_(obs::MetricsRegistry::global().counter(
+          "lsdf_tape_bytes_total", {{"op", "archive"}})),
+      recall_bytes_metric_(obs::MetricsRegistry::global().counter(
+          "lsdf_tape_bytes_total", {{"op", "recall"}})),
+      mounts_metric_(obs::MetricsRegistry::global().counter(
+          "lsdf_tape_mounts_total")),
+      mount_hits_metric_(obs::MetricsRegistry::global().counter(
+          "lsdf_tape_mount_hits_total")),
+      recall_latency_metric_(obs::MetricsRegistry::global().histogram(
+          "lsdf_tape_recall_seconds",
+          // Recalls span seconds (mount hit, small object) to hours
+          // (deep queue); 1 s .. ~2 h in x3 steps.
+          obs::Histogram::exponential_bounds(1.0, 3.0, 9))) {
   LSDF_REQUIRE(config_.drive_count > 0, "tape library needs drives");
   LSDF_REQUIRE(config_.cartridge_count > 0, "tape library needs cartridges");
 }
@@ -269,6 +282,13 @@ void TapeLibrary::run_on_drive(std::size_t drive_index, Request request) {
     // Runs once the drive has the right cartridge mounted.
     simulator_.schedule_after(seek + stream, [this, drive_index, request] {
       drives_[drive_index].busy = false;
+      if (request->is_archive) {
+        archive_bytes_metric_.add(request->size.count());
+      } else {
+        recall_bytes_metric_.add(request->size.count());
+        recall_latency_metric_.observe(
+            (simulator_.now() - request->submitted).seconds());
+      }
       if (request->done) {
         request->done(TapeResult{Status::ok(), request->submitted,
                                  simulator_.now(), request->size});
@@ -279,10 +299,12 @@ void TapeLibrary::run_on_drive(std::size_t drive_index, Request request) {
 
   if (!needs_mount) {
     ++mount_hits_;
+    mount_hits_metric_.add(1);
     finish();
     return;
   }
   ++mounts_;
+  mounts_metric_.add(1);
   const std::int64_t cartridge = request.cartridge;
   robot_.acquire(1, [this, drive_index, cartridge,
                      finish = std::move(finish)]() mutable {

@@ -17,6 +17,7 @@
 
 #include "common/status.h"
 #include "common/units.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace lsdf::storage {
@@ -127,6 +128,13 @@ class TapeLibrary {
   bool compacting_ = false;
   std::int64_t mounts_ = 0;
   std::int64_t mount_hits_ = 0;
+
+  // Telemetry.
+  obs::Counter& archive_bytes_metric_;
+  obs::Counter& recall_bytes_metric_;
+  obs::Counter& mounts_metric_;
+  obs::Counter& mount_hits_metric_;
+  obs::Histogram& recall_latency_metric_;
 };
 
 }  // namespace lsdf::storage

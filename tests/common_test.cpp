@@ -7,6 +7,7 @@
 
 #include "common/checksum.h"
 #include "common/config.h"
+#include "common/log.h"
 #include "common/require.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -344,6 +345,80 @@ TEST(TimeSeries, RecordsAndDownsamples) {
   ASSERT_EQ(down.size(), 5u);
   EXPECT_DOUBLE_EQ(down.front().value, 0.0);
   EXPECT_DOUBLE_EQ(down.back().value, 99.0);
+}
+
+TEST(TimeSeries, DownsampleDegenerateCounts) {
+  TimeSeries series;
+  for (int i = 0; i < 10; ++i) {
+    series.record(SimTime(i * 1000), static_cast<double>(i));
+  }
+  // Regression: n == 0 used to return ALL points ("at most 0" violated).
+  EXPECT_TRUE(series.downsample(0).empty());
+  // Regression: n == 1 used to divide by n - 1 == 0.
+  const auto one = series.downsample(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one.front().value, 0.0);
+  // Empty series stays empty at any n.
+  EXPECT_TRUE(TimeSeries{}.downsample(0).empty());
+  EXPECT_TRUE(TimeSeries{}.downsample(3).empty());
+}
+
+// --- Logging ----------------------------------------------------------------------
+
+// Captures std::clog for one scope; restores state on destruction.
+class ClogCapture {
+ public:
+  ClogCapture()
+      : old_buf_(std::clog.rdbuf(captured_.rdbuf())),
+        saved_threshold_(Log::threshold()),
+        saved_timestamps_(Log::timestamps()) {}
+  ~ClogCapture() {
+    std::clog.rdbuf(old_buf_);
+    Log::threshold() = saved_threshold_;
+    Log::timestamps() = saved_timestamps_;
+  }
+  [[nodiscard]] std::string text() const { return captured_.str(); }
+
+ private:
+  std::ostringstream captured_;
+  std::streambuf* old_buf_;
+  LogLevel saved_threshold_;
+  bool saved_timestamps_;
+};
+
+TEST(Log, OffIsAThresholdSentinelNotAMessageLevel) {
+  ClogCapture capture;
+  Log::threshold() = LogLevel::kTrace;
+  // Regression: a message written "at" kOff used to pass every threshold.
+  Log::write(LogLevel::kOff, "test", "must-not-appear");
+  Log::write(LogLevel::kError, "test", "must-appear");
+  EXPECT_EQ(capture.text().find("must-not-appear"), std::string::npos);
+  EXPECT_NE(capture.text().find("must-appear"), std::string::npos);
+}
+
+TEST(Log, ThresholdFiltersAndOffSilencesEverything) {
+  ClogCapture capture;
+  Log::threshold() = LogLevel::kWarn;
+  Log::write(LogLevel::kInfo, "test", "below-threshold");
+  Log::threshold() = LogLevel::kOff;
+  Log::write(LogLevel::kError, "test", "silenced");
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST(Log, MonotonicTimestampPrefixIsOptIn) {
+  ClogCapture capture;
+  Log::threshold() = LogLevel::kInfo;
+  Log::timestamps() = false;
+  Log::write(LogLevel::kWarn, "test", "plain");
+  EXPECT_EQ(capture.text().rfind("[WARN]", 0), 0u);
+  Log::timestamps() = true;
+  Log::write(LogLevel::kWarn, "test", "stamped");
+  // The second line starts with "[<seconds>s]".
+  const std::string text = capture.text();
+  const auto second_line = text.find('\n') + 1;
+  EXPECT_EQ(text[second_line], '[');
+  EXPECT_NE(text.find("s] [WARN] test: stamped", second_line),
+            std::string::npos);
 }
 
 // --- Checksums ------------------------------------------------------------------------

@@ -1,0 +1,343 @@
+// Unit tests for lsdf::obs — the metrics registry (counters, gauges,
+// histograms, exports) and the span tracer (dual clock, Chrome JSON).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/require.h"
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace lsdf::obs {
+namespace {
+
+// Every test uses its own registry (the global one accumulates whatever the
+// process has touched); the global is only exercised where identity matters.
+
+TEST(Counter, AddsAndResets) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("events");
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x", {{"op", "read"}});
+  Counter& b = registry.counter("x", {{"op", "read"}});
+  Counter& other = registry.counter("x", {{"op", "write"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &other);
+  EXPECT_EQ(registry.instrument_count(), 2u);
+}
+
+TEST(MetricsRegistry, LabelOrderDoesNotMatter) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x", {{"a", "1"}, {"b", "2"}});
+  Counter& b = registry.counter("x", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistry, KindMismatchIsAContractViolation) {
+  MetricsRegistry registry;
+  (void)registry.counter("x");
+  EXPECT_THROW((void)registry.gauge("x"), ContractViolation);
+}
+
+TEST(MetricsRegistry, ReadHelpersAndCounterTotal) {
+  MetricsRegistry registry;
+  registry.counter("bytes", {{"op", "read"}}).add(7);
+  registry.counter("bytes", {{"op", "write"}}).add(5);
+  registry.gauge("depth").set(3.5);
+  EXPECT_EQ(registry.counter_value("bytes", {{"op", "read"}}), 7);
+  EXPECT_EQ(registry.counter_total("bytes"), 12);
+  EXPECT_DOUBLE_EQ(registry.gauge_value("depth"), 3.5);
+  // Unknown instruments read as zero, not as errors.
+  EXPECT_EQ(registry.counter_value("no-such"), 0);
+  EXPECT_DOUBLE_EQ(registry.gauge_value("no-such"), 0.0);
+}
+
+TEST(Gauge, BoundProviderIsSampledAtReadAndFrozenByUnbind) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.gauge("live");
+  double source = 10.0;
+  gauge.bind([&source] { return source; });
+  EXPECT_DOUBLE_EQ(gauge.value(), 10.0);
+  source = 20.0;
+  EXPECT_DOUBLE_EQ(gauge.value(), 20.0);  // sampled, not cached
+  gauge.unbind();
+  source = 99.0;
+  EXPECT_DOUBLE_EQ(gauge.value(), 20.0);  // frozen at unbind time
+  EXPECT_FALSE(gauge.bound());
+}
+
+TEST(Histogram, PrometheusLeBucketSemantics) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1      -> bucket 0
+  h.observe(1.0);    // <= 1      -> bucket 0 (le is inclusive)
+  h.observe(3.0);    // <= 10     -> bucket 1
+  h.observe(1000.0); // overflow  -> +Inf bucket
+  EXPECT_EQ(h.bucket_count(0), 2);
+  EXPECT_EQ(h.bucket_count(1), 1);
+  EXPECT_EQ(h.bucket_count(2), 0);
+  EXPECT_EQ(h.bucket_count(3), 1);  // +Inf
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 1004.5);
+}
+
+TEST(Histogram, ExponentialBounds) {
+  const auto bounds = Histogram::exponential_bounds(1e-3, 10.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1e-3);
+  EXPECT_DOUBLE_EQ(bounds[3], 1.0);
+}
+
+TEST(Snapshot, CumulativeBucketsEndAtInfWithTotalCount) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(5.0);
+  const auto snaps = registry.snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  const auto& buckets = snaps[0].cumulative_buckets;
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0].second, 1);  // le 1.0
+  EXPECT_EQ(buckets[1].second, 2);  // le 2.0
+  EXPECT_TRUE(std::isinf(buckets[2].first));
+  EXPECT_EQ(buckets[2].second, 3);  // +Inf == count
+}
+
+// --- Export goldens ----------------------------------------------------------
+
+TEST(Export, PrometheusTextFormat) {
+  MetricsRegistry registry;
+  registry.counter("lsdf_ops_total", {{"op", "read"}}).add(3);
+  registry.gauge("lsdf_depth").set(2.0);
+  registry.histogram("lsdf_lat", {0.5, 5.0}).observe(1.0);
+  const std::string expected =
+      "# TYPE lsdf_depth gauge\n"
+      "lsdf_depth 2\n"
+      "# TYPE lsdf_lat histogram\n"
+      "lsdf_lat_bucket{le=\"0.5\"} 0\n"
+      "lsdf_lat_bucket{le=\"5\"} 1\n"
+      "lsdf_lat_bucket{le=\"+Inf\"} 1\n"
+      "lsdf_lat_sum 1\n"
+      "lsdf_lat_count 1\n"
+      "# TYPE lsdf_ops_total counter\n"
+      "lsdf_ops_total{op=\"read\"} 3\n";
+  EXPECT_EQ(registry.to_prometheus(), expected);
+}
+
+TEST(Export, CsvFormat) {
+  MetricsRegistry registry;
+  registry.counter("ops", {{"op", "read"}}).add(3);
+  registry.histogram("lat", {1.0}).observe(0.25);
+  const std::string expected =
+      "name,labels,field,value\n"
+      "lat,\"\",sum,0.25\n"
+      "lat,\"\",count,1\n"
+      "lat,\"\",le_1,1\n"
+      "lat,\"\",le_+Inf,1\n"
+      "ops,\"{op=\"read\"}\",value,3\n";
+  EXPECT_EQ(registry.to_csv(), expected);
+}
+
+TEST(Export, ResetValuesZeroesEverythingButKeepsHandles) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("c");
+  Gauge& gauge = registry.gauge("g");
+  Histogram& histogram = registry.histogram("h", {1.0});
+  counter.add(5);
+  gauge.set(5.0);
+  histogram.observe(0.5);
+  registry.reset_values();
+  EXPECT_EQ(counter.value(), 0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(histogram.count(), 0);
+  EXPECT_EQ(registry.instrument_count(), 3u);
+  counter.add(1);  // handle still live
+  EXPECT_EQ(registry.counter_value("c"), 1);
+}
+
+// --- Concurrency -------------------------------------------------------------
+
+TEST(Concurrency, HammerFromThreadPoolWorkers) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("hits");
+  Gauge& gauge = registry.gauge("level");
+  Histogram& histogram =
+      registry.histogram("obs", Histogram::exponential_bounds(1.0, 2.0, 8));
+  constexpr int kTasks = 64;
+  constexpr int kOpsPerTask = 1000;
+  exec::ThreadPool pool(4);
+  for (int t = 0; t < kTasks; ++t) {
+    pool.submit([&, t] {
+      for (int i = 0; i < kOpsPerTask; ++i) {
+        counter.add(1);
+        gauge.set(static_cast<double>(i));
+        histogram.observe(static_cast<double>((t * kOpsPerTask + i) % 200));
+        // Interleave get-or-create races on the registry lock too.
+        registry.counter("shared", {{"t", std::to_string(t % 4)}}).add(1);
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.value(), kTasks * kOpsPerTask);
+  EXPECT_EQ(histogram.count(), kTasks * kOpsPerTask);
+  EXPECT_EQ(registry.counter_total("shared"), kTasks * kOpsPerTask);
+  // Cumulative buckets are monotone and end at the total count.
+  const auto snaps = registry.snapshot();
+  for (const auto& snap : snaps) {
+    if (snap.kind != InstrumentKind::kHistogram) continue;
+    std::int64_t previous = 0;
+    for (const auto& [bound, cumulative] : snap.cumulative_buckets) {
+      EXPECT_GE(cumulative, previous);
+      previous = cumulative;
+    }
+    EXPECT_EQ(snap.cumulative_buckets.back().second, snap.count);
+  }
+}
+
+// --- Tracer ------------------------------------------------------------------
+
+TEST(Tracer, DisabledTracerEmitsNothing) {
+  Tracer tracer;  // disabled by default
+  { Span span(tracer, "op"); }
+  tracer.emit_instant("i", "c");  // emit_* also gates on enabled()
+  EXPECT_EQ(tracer.event_count(), 0u);
+  tracer.enable(true);
+  { Span span(tracer, "op"); }
+  EXPECT_EQ(tracer.event_count(), 1u);
+  tracer.clear();
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(Tracer, SteadyClockSpanHasNonNegativeDuration) {
+  Tracer tracer;
+  tracer.enable(true);
+  {
+    Span span(tracer, "work", "test");
+    span.annotate("k", "v");
+  }
+  EXPECT_EQ(tracer.event_count(), 1u);
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("\"name\":\"work\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"test\""), std::string::npos);
+  EXPECT_NE(json.find("\"k\":\"v\""), std::string::npos);
+}
+
+TEST(Tracer, SimClockedSpansUseSimulatedTime) {
+  sim::Simulator sim;
+  Tracer tracer;
+  tracer.enable(true);
+  tracer.use_sim_clock([&sim] { return sim.now().nanos(); });
+  ASSERT_TRUE(tracer.sim_clocked());
+  sim.schedule_after(2_s, [&] {
+    Span span(tracer, "at-two-seconds", "test");
+    span.finish();
+  });
+  sim.schedule_after(5_s, [&] {
+    tracer.emit_complete("window", "test", 0, tracer.now_us());
+  });
+  sim.run();
+  // Simulated seconds, not wall clock: the second event spans exactly 5e6 us.
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("\"ts\":2000000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":5000000"), std::string::npos);
+  tracer.use_steady_clock();
+  EXPECT_FALSE(tracer.sim_clocked());
+}
+
+TEST(Tracer, ChromeJsonIsWellFormed) {
+  Tracer tracer;
+  tracer.enable(true);
+  tracer.emit_complete("a\"b\\c", "cat", 1, 2, {{"key\n", "value\t"}});
+  tracer.emit_instant("marker", "cat");
+  const std::string json = tracer.to_chrome_json();
+  // Structural checks: balanced braces/brackets outside of strings, and
+  // every quote escaped inside them. A JSON parser is overkill here; the
+  // Perfetto loader is the real golden test.
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = true;
+      continue;
+    }
+    if (c == '"') {
+      in_string = !in_string;
+      continue;
+    }
+    if (in_string) {
+      EXPECT_NE(c, '\n');  // control chars must be escaped
+      continue;
+    }
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(Tracer, WriteChromeJsonRoundTripsToDisk) {
+  Tracer tracer;
+  tracer.enable(true);
+  tracer.emit_complete("op", "cat", 0, 10);
+  const std::string path = ::testing::TempDir() + "lsdf_trace_test.json";
+  ASSERT_TRUE(tracer.write_chrome_json(path).is_ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), tracer.to_chrome_json() + "\n");
+  EXPECT_FALSE(
+      tracer.write_chrome_json("/no/such/directory/trace.json").is_ok());
+}
+
+// --- Instrumented subsystems -------------------------------------------------
+
+TEST(Integration, SimulatorFeedsTheGlobalRegistry) {
+  auto& registry = MetricsRegistry::global();
+  const std::int64_t before = registry.counter_value("lsdf_sim_events_total");
+  sim::Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.schedule_after(SimDuration(i), [] {});
+  sim.run();
+  EXPECT_EQ(registry.counter_value("lsdf_sim_events_total"), before + 10);
+}
+
+TEST(Integration, ThreadPoolCountsTasksInTheGlobalRegistry) {
+  auto& registry = MetricsRegistry::global();
+  const std::int64_t before = registry.counter_value("lsdf_exec_tasks_total");
+  exec::ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 100);
+  EXPECT_EQ(registry.counter_value("lsdf_exec_tasks_total"), before + 100);
+}
+
+}  // namespace
+}  // namespace lsdf::obs
