@@ -41,8 +41,9 @@ DayResult run_day(bool outage) {
   mirror_config.local_gateway = facility.ingest_node();
   mirror_config.remote_site = facility.heidelberg_node();
   mirror_config.max_concurrent = 4;
-  mirror_config.max_attempts = 50;  // outages must not lose data
-  mirror_config.retry_backoff = 5_min;
+  mirror_config.retry.max_attempts = 50;  // outages must not lose data
+  mirror_config.retry.initial_backoff = 5_min;
+  mirror_config.retry.max_backoff = 15_min;
   core::MirrorService mirror(sim, facility.network(), facility.metadata(),
                              mirror_config);
   mirror.start();

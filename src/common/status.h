@@ -29,6 +29,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kDataLoss,
+  kCancelled,
 };
 
 [[nodiscard]] constexpr std::string_view to_string(StatusCode code) {
@@ -45,6 +46,7 @@ enum class StatusCode {
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kCancelled: return "CANCELLED";
   }
   return "UNKNOWN";
 }
@@ -109,6 +111,9 @@ inline Status internal_error(std::string msg) {
 }
 inline Status data_loss(std::string msg) {
   return {StatusCode::kDataLoss, std::move(msg)};
+}
+inline Status cancelled(std::string msg) {
+  return {StatusCode::kCancelled, std::move(msg)};
 }
 
 // Result<T>: either a value or a non-OK Status.

@@ -5,9 +5,13 @@ namespace lsdf::core {
 MirrorService::MirrorService(sim::Simulator& simulator,
                              net::TransferEngine& net,
                              meta::MetadataStore& store, MirrorConfig config)
-    : simulator_(simulator), net_(net), store_(store), config_(config) {
+    : simulator_(simulator),
+      net_(net),
+      store_(store),
+      config_(config),
+      wan_(simulator, net, "mirror", config.retry_seed) {
   LSDF_REQUIRE(config_.max_concurrent > 0, "need at least one mirror slot");
-  LSDF_REQUIRE(config_.max_attempts >= 1, "need at least one attempt");
+  config_.retry.validate();
   LSDF_REQUIRE(config_.wan_efficiency > 0.0 && config_.wan_efficiency <= 1.0,
                "WAN efficiency must be in (0, 1]");
 }
@@ -28,7 +32,7 @@ void MirrorService::mirror(meta::DatasetId dataset) {
   if (!store_.get(dataset).is_ok()) return;
   tracked_.insert(dataset);
   ++stats_.queued;
-  queue_.push_back(Pending{dataset, 1});
+  queue_.push_back(Pending{dataset});
   pump();
 }
 
@@ -52,20 +56,25 @@ void MirrorService::attempt(Pending pending) {
   net::TransferOptions options;
   options.efficiency = config_.wan_efficiency;
   const Bytes size = record.value().size;
-  const auto flow = net_.start_transfer(
+  // The retry layer owns the attempt loop (submission failures during WAN
+  // outages, cancelled flows). The dataset keeps its slot until the single
+  // terminal report arrives, so a cancelled flow can no longer leak
+  // in_flight_ forever.
+  wan_.submit(
       config_.local_gateway, config_.remote_site, size, options,
+      config_.retry,
       [this, dataset = pending.dataset,
-       size](const net::TransferCompletion&) {
+       size](const net::ReliableTransferReport& report) {
         --in_flight_;
-        finished(dataset, size);
+        if (report.delivered()) {
+          finished(dataset, size);
+        } else {
+          ++stats_.failed;
+          tracked_.erase(dataset);  // a later tag may retry from scratch
+        }
         pump();
-      });
-  if (!flow.is_ok()) {
-    // No WAN route right now (outage): back off and retry.
-    --in_flight_;
-    failed_attempt(pending);
-    pump();
-  }
+      },
+      [this](int, const Status&) { ++stats_.retries; });
 }
 
 void MirrorService::finished(meta::DatasetId dataset, Bytes size) {
@@ -75,20 +84,6 @@ void MirrorService::finished(meta::DatasetId dataset, Bytes size) {
   if (!config_.done_tag.empty()) {
     (void)store_.tag(dataset, config_.done_tag);
   }
-}
-
-void MirrorService::failed_attempt(Pending pending) {
-  if (pending.attempt >= config_.max_attempts) {
-    ++stats_.failed;
-    tracked_.erase(pending.dataset);  // a later tag may retry from scratch
-    return;
-  }
-  ++stats_.retries;
-  ++pending.attempt;
-  simulator_.schedule_after(config_.retry_backoff, [this, pending] {
-    queue_.push_back(pending);
-    pump();
-  });
 }
 
 }  // namespace lsdf::core

@@ -12,7 +12,9 @@
 #include <string>
 
 #include "common/units.h"
+#include "fault/retry.h"
 #include "meta/store.h"
+#include "net/reliable_transfer.h"
 #include "net/transfer_engine.h"
 #include "sim/simulator.h"
 
@@ -27,9 +29,11 @@ struct MirrorConfig {
   // WAN protocol efficiency (2011 long-haul TCP).
   double wan_efficiency = 0.62;
   int max_concurrent = 4;
-  // Attempts per dataset; an attempt fails when no WAN route exists.
-  int max_attempts = 5;
-  SimDuration retry_backoff = 5_min;
+  // Facility-wide retry contract for WAN attempts; an attempt fails when no
+  // WAN route exists at submission or the flow is cancelled mid-transfer.
+  fault::RetryPolicy retry{.initial_backoff = 5_min};
+  // Seed for the retry layer's deterministic backoff jitter.
+  std::uint64_t retry_seed = 0x6d6972726f72ULL;  // "mirror"
 };
 
 struct MirrorStats {
@@ -61,18 +65,20 @@ class MirrorService {
  private:
   struct Pending {
     meta::DatasetId dataset = 0;
-    int attempt = 1;
   };
 
   void pump();
   void attempt(Pending pending);
   void finished(meta::DatasetId dataset, Bytes size);
-  void failed_attempt(Pending pending);
 
   sim::Simulator& simulator_;
   net::TransferEngine& net_;
   meta::MetadataStore& store_;
   MirrorConfig config_;
+  // Retrying WAN client: a dataset holds its concurrency slot across
+  // retries, so in_flight_ can never leak even when attempts fail or the
+  // flow is cancelled (every submit yields exactly one terminal report).
+  net::ReliableTransfer wan_;
   std::deque<Pending> queue_;
   std::set<meta::DatasetId> mirrored_;
   std::set<meta::DatasetId> tracked_;  // queued or done: dedup

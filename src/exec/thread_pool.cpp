@@ -32,9 +32,12 @@ ThreadPool::ThreadPool(unsigned thread_count)
 }
 
 ThreadPool::~ThreadPool() {
-  stopping_.store(true);
   {
+    // stopping_ is only ever set under sleep_mutex_, and submit() checks it
+    // under the same mutex: once this store is visible, no further task can
+    // be enqueued, so the workers' drain loops observe a stable queue set.
     const std::lock_guard lock(sleep_mutex_);
+    stopping_.store(true);
   }
   work_available_.notify_all();
   for (std::thread& worker : workers_) worker.join();
@@ -42,9 +45,6 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(Task task) {
   LSDF_REQUIRE(task != nullptr, "null task");
-  LSDF_REQUIRE(!stopping_.load(), "submit on a stopping pool");
-  pending_metric_.set(static_cast<double>(
-      pending_.fetch_add(1, std::memory_order_acq_rel) + 1));
 
   // Prefer the current worker's own queue (keeps task trees cache-local);
   // external submitters round-robin.
@@ -56,15 +56,22 @@ void ThreadPool::submit(Task task) {
         next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   }
   {
-    const std::lock_guard lock(queues_[target]->mutex);
+    // The stopping check and the enqueue are one critical section under
+    // sleep_mutex_; the destructor sets stopping_ under the same mutex.
+    // This closes the window where a task submitted while workers drain
+    // could be enqueued after the drain saw empty queues — such a task
+    // would never execute and its future would never resolve. A submit
+    // that loses the race is rejected here instead, before any state
+    // changes. Holding the mutex also pairs with the waiters' predicate
+    // check so a notify cannot slip into the check-then-block window.
+    const std::lock_guard lock(sleep_mutex_);
+    LSDF_REQUIRE(!stopping_.load(), "submit on a stopping pool");
+    pending_metric_.set(static_cast<double>(
+        pending_.fetch_add(1, std::memory_order_acq_rel) + 1));
+    const std::lock_guard qlock(queues_[target]->mutex);
     queues_[target]->tasks.push_back(std::move(task));
     worker_depth_metric_[target]->set(
         static_cast<double>(queues_[target]->tasks.size()));
-  }
-  {
-    // Empty critical section pairs with the waiters' predicate check so a
-    // notify cannot slip into the check-then-block window.
-    const std::lock_guard lock(sleep_mutex_);
   }
   work_available_.notify_one();
 }

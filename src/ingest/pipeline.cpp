@@ -24,6 +24,7 @@ IngestPipeline::IngestPipeline(sim::Simulator& simulator,
       adal_(adal),
       store_(store),
       config_(config),
+      transfer_(simulator, net, "ingest", config.retry_seed),
       slots_(simulator, config.parallel_slots, "ingest.slots"),
       queue_depth_metric_(
           obs::MetricsRegistry::global().gauge("lsdf_ingest_queue_depth")),
@@ -45,6 +46,7 @@ IngestPipeline::IngestPipeline(sim::Simulator& simulator,
       store_stage_metric_(stage_histogram("store")) {
   LSDF_REQUIRE(config_.checksum_rate.bps() > 0.0,
                "checksum rate must be positive");
+  config_.transfer_retry.validate();
   queue_depth_metric_.set(0.0);
 }
 
@@ -103,14 +105,21 @@ void IngestPipeline::submit(IngestItem item, IngestCallback done) {
     queue_depth_metric_.set(static_cast<double>(slots_.queue_length()));
     const SimTime granted = simulator_.now();
     // Stage 1: move the data from the experiment's DAQ node to the ingest
-    // head node over the facility backbone.
+    // head node over the facility backbone, retrying transient faults so a
+    // flaky fabric cannot silently drop DAQ data or leak the slot.
     net::TransferOptions options;
     options.efficiency = config_.network_efficiency;
     options.weight = config_.network_weight;
-    const auto flow = net_.start_transfer(
+    transfer_.submit(
         shared_item->source, config_.ingest_node, shared_item->size, options,
+        config_.transfer_retry,
         [this, shared_item, shared_done, report,
-         granted](const net::TransferCompletion&) {
+         granted](const net::ReliableTransferReport& transfer_report) {
+          if (!transfer_report.delivered()) {
+            report->status = transfer_report.status;
+            finish(*report, *shared_done);
+            return;
+          }
           transfer_stage_metric_.observe(
               (simulator_.now() - granted).seconds());
           // Stage 2: checksum the stream (CRC32C at the scan rate).
@@ -157,11 +166,8 @@ void IngestPipeline::submit(IngestItem item, IngestCallback done) {
                   finish(*report, *shared_done);
                 });
           });
-        });
-    if (!flow.is_ok()) {
-      report->status = flow.status();
-      finish(*report, *shared_done);
-    }
+        },
+        [this](int, const Status&) { ++stats_.transfer_retries; });
   });
   queue_depth_metric_.set(static_cast<double>(slots_.queue_length()));
 }

@@ -16,7 +16,9 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/units.h"
+#include "fault/retry.h"
 #include "meta/store.h"
+#include "net/reliable_transfer.h"
 #include "net/transfer_engine.h"
 #include "obs/metrics.h"
 #include "sim/simulator.h"
@@ -44,6 +46,13 @@ struct IngestConfig {
   // this multiple of a default flow's bandwidth share under contention,
   // so bulk exports can never starve the instruments.
   double network_weight = 4.0;
+  // Stage-1 backbone transfers retry under this policy (submission
+  // failures and cancelled flows), so transient fabric faults do not lose
+  // DAQ data. Kept short: the instruments buffer minutes, not hours.
+  fault::RetryPolicy transfer_retry{.max_attempts = 4,
+                                    .initial_backoff = 10_s};
+  // Seed for the retry layer's deterministic backoff jitter.
+  std::uint64_t retry_seed = 0x696e67657374ULL;  // "ingest"
   adal::Credentials credentials;
 };
 
@@ -64,6 +73,7 @@ struct IngestStats {
   std::int64_t completed = 0;
   std::int64_t failed = 0;
   std::int64_t rejected = 0;  // back-pressure rejections
+  std::int64_t transfer_retries = 0;  // stage-1 retries performed
   Bytes bytes_ingested;
   RunningStats latency_seconds;
 };
@@ -91,6 +101,9 @@ class IngestPipeline {
   adal::Adal& adal_;
   meta::MetadataStore& store_;
   IngestConfig config_;
+  // Retrying stage-1 transport: every submission yields exactly one
+  // terminal report, so an ingest slot can never leak.
+  net::ReliableTransfer transfer_;
   sim::Resource slots_;
   IngestStats stats_;
 

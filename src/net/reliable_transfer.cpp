@@ -1,0 +1,94 @@
+#include "net/reliable_transfer.h"
+
+#include <utility>
+
+#include "common/require.h"
+
+namespace lsdf::net {
+
+ReliableTransfer::ReliableTransfer(sim::Simulator& simulator,
+                                   TransferEngine& engine,
+                                   std::string service, std::uint64_t seed)
+    : simulator_(simulator),
+      engine_(engine),
+      service_(std::move(service)),
+      rng_(seed),
+      attempts_metric_(obs::MetricsRegistry::global().counter(
+          "lsdf_retry_attempts_total", {{"service", service_}})),
+      exhausted_metric_(obs::MetricsRegistry::global().counter(
+          "lsdf_retry_exhausted_total", {{"service", service_}})),
+      recovery_metric_(obs::MetricsRegistry::global().histogram(
+          "lsdf_retry_recovery_seconds",
+          obs::Histogram::exponential_bounds(1.0, 4.0, 10),
+          {{"service", service_}})) {}
+
+void ReliableTransfer::submit(NodeId src, NodeId dst, Bytes size,
+                              const TransferOptions& options,
+                              const fault::RetryPolicy& policy,
+                              ReportCallback done, RetryCallback on_retry) {
+  policy.validate();
+  auto op = std::make_shared<Operation>();
+  op->src = src;
+  op->dst = dst;
+  op->size = size;
+  op->options = options;
+  op->policy = policy;
+  op->done = std::move(done);
+  op->on_retry = std::move(on_retry);
+  op->submitted = simulator_.now();
+  attempt(std::move(op));
+}
+
+void ReliableTransfer::finish(Operation& op, Status status) {
+  if (status.is_ok() && op.attempts > 1) {
+    recovery_metric_.observe((simulator_.now() - op.submitted).seconds());
+  }
+  if (!status.is_ok()) exhausted_metric_.add(1);
+  ReliableTransferReport report;
+  report.status = std::move(status);
+  report.last_flow = op.last_flow;
+  report.size = op.size;
+  report.attempts = op.attempts;
+  report.submitted = op.submitted;
+  report.completed = simulator_.now();
+  if (op.done) op.done(report);
+}
+
+void ReliableTransfer::attempt_failed(std::shared_ptr<Operation> op,
+                                      const Status& failure) {
+  const SimDuration elapsed = simulator_.now() - op->submitted;
+  if (!op->policy.should_retry(op->attempts, elapsed)) {
+    finish(*op, failure);
+    return;
+  }
+  attempts_metric_.add(1);
+  if (op->on_retry) op->on_retry(op->attempts, failure);
+  const SimDuration delay = op->policy.backoff(op->attempts, rng_);
+  simulator_.schedule_after(delay,
+                            [this, op = std::move(op)]() mutable {
+                              attempt(std::move(op));
+                            });
+}
+
+void ReliableTransfer::attempt(std::shared_ptr<Operation> op) {
+  ++op->attempts;
+  Operation* raw = op.get();
+  auto flow = engine_.start_transfer(
+      raw->src, raw->dst, raw->size, raw->options,
+      [this, op](const TransferCompletion& completion) mutable {
+        if (completion.status.is_ok()) {
+          finish(*op, Status::ok());
+        } else {
+          attempt_failed(std::move(op), completion.status);
+        }
+      });
+  if (flow.is_ok()) {
+    raw->last_flow = flow.value();
+  } else {
+    // No route right now (e.g. the backbone link is down): the engine never
+    // accepted the flow, so the retry loop owns recovery.
+    attempt_failed(std::move(op), flow.status());
+  }
+}
+
+}  // namespace lsdf::net

@@ -1,0 +1,89 @@
+// ReliableTransfer: a retrying wrapper around TransferEngine — the
+// GridFTP-style fault-tolerant transport client (Allcock et al.). Callers
+// submit once and always receive exactly one terminal report: success after
+// at most `RetryPolicy::max_attempts` tries, or a terminal error carrying
+// the last failure. Routing failures at submission (no route) and cancelled
+// flows both count as retryable attempts; backoff between attempts follows
+// the shared `fault::RetryPolicy` with deterministic jitter drawn from this
+// wrapper's own seeded stream, so whole fault scenarios replay identically.
+//
+// Telemetry (all labelled {service=<name>}):
+//   lsdf_retry_attempts_total    retries actually performed
+//   lsdf_retry_exhausted_total   operations that gave up
+//   lsdf_retry_recovery_seconds  submit-to-success latency of operations
+//                                that needed at least one retry
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "fault/retry.h"
+#include "net/transfer_engine.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+
+namespace lsdf::net {
+
+struct ReliableTransferReport {
+  Status status;      // OK, or the last attempt's failure
+  FlowId last_flow = 0;
+  Bytes size;
+  int attempts = 0;   // tries performed (>= 1)
+  SimTime submitted;  // when submit() ran
+  SimTime completed;  // when the terminal report fired
+  [[nodiscard]] bool delivered() const { return status.is_ok(); }
+};
+
+class ReliableTransfer {
+ public:
+  using ReportCallback = std::function<void(const ReliableTransferReport&)>;
+  // Fired before each backoff sleep: (attempts so far, failure that caused
+  // the retry). Lets services keep live retry statistics.
+  using RetryCallback = std::function<void(int, const Status&)>;
+
+  // `service` labels this wrapper's metrics; `seed` drives backoff jitter.
+  ReliableTransfer(sim::Simulator& simulator, TransferEngine& engine,
+                   std::string service, std::uint64_t seed);
+
+  // Move `size` bytes src -> dst under `policy`. `done` always fires
+  // exactly once. The engine's stall semantics are unchanged: an in-flight
+  // flow that loses its route stalls (and later resumes) rather than
+  // failing, so retries trigger on submission failures and cancellations.
+  void submit(NodeId src, NodeId dst, Bytes size,
+              const TransferOptions& options,
+              const fault::RetryPolicy& policy, ReportCallback done,
+              RetryCallback on_retry = nullptr);
+
+ private:
+  struct Operation {
+    NodeId src = 0;
+    NodeId dst = 0;
+    Bytes size;
+    TransferOptions options;
+    fault::RetryPolicy policy;
+    ReportCallback done;
+    RetryCallback on_retry;
+    SimTime submitted;
+    int attempts = 0;
+    FlowId last_flow = 0;
+  };
+
+  void attempt(std::shared_ptr<Operation> op);
+  void attempt_failed(std::shared_ptr<Operation> op, const Status& failure);
+  void finish(Operation& op, Status status);
+
+  sim::Simulator& simulator_;
+  TransferEngine& engine_;
+  std::string service_;
+  Rng rng_;
+  obs::Counter& attempts_metric_;
+  obs::Counter& exhausted_metric_;
+  obs::Histogram& recovery_metric_;
+};
+
+}  // namespace lsdf::net

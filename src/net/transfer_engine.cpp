@@ -1,6 +1,7 @@
 #include "net/transfer_engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <string>
 #include <unordered_map>
@@ -23,6 +24,8 @@ TransferEngine::TransferEngine(sim::Simulator& simulator,
           "lsdf_net_transfers_total")),
       bytes_metric_(
           obs::MetricsRegistry::global().counter("lsdf_net_bytes_total")),
+      cancelled_metric_(obs::MetricsRegistry::global().counter(
+          "lsdf_net_cancelled_total")),
       duration_metric_(obs::MetricsRegistry::global().histogram(
           "lsdf_net_transfer_seconds",
           obs::Histogram::exponential_bounds(1e-3, 10.0, 9))),
@@ -38,14 +41,26 @@ obs::Counter& TransferEngine::link_bytes_metric(LinkId link) {
   return *link_bytes_[link];
 }
 
-void TransferEngine::record_completion(const TransferCompletion& completion,
-                                       const std::vector<LinkId>& path) {
+void TransferEngine::credit_link_bytes(const std::vector<LinkId>& path,
+                                       double wire_bytes) {
+  if (wire_bytes <= 0.0) return;
+  for (const LinkId link : path) {
+    if (link >= link_bytes_residue_.size()) {
+      link_bytes_residue_.resize(link + 1, 0.0);
+    }
+    link_bytes_residue_[link] += wire_bytes;
+    const double whole = std::floor(link_bytes_residue_[link]);
+    if (whole >= 1.0) {
+      link_bytes_metric(link).add(static_cast<std::int64_t>(whole));
+      link_bytes_residue_[link] -= whole;
+    }
+  }
+}
+
+void TransferEngine::record_completion(const TransferCompletion& completion) {
   transfers_metric_.add(1);
   bytes_metric_.add(completion.size.count());
   duration_metric_.observe(completion.duration().seconds());
-  for (const LinkId link : path) {
-    link_bytes_metric(link).add(completion.size.count());
-  }
   // Spans carry simulated timestamps, so they only make sense on a
   // sim-clocked tracer (a steady-clocked one would interleave wall time).
   obs::Tracer& tracer = obs::Tracer::global();
@@ -78,7 +93,7 @@ Result<FlowId> TransferEngine::start_transfer(NodeId src, NodeId dst,
         [this, id, size, started, cb = std::move(on_complete)] {
           const TransferCompletion completion{id, size, started,
                                               simulator_.now()};
-          record_completion(completion, {});
+          record_completion(completion);
           if (cb) cb(completion);
         });
     return id;
@@ -114,9 +129,17 @@ bool TransferEngine::cancel(FlowId id) {
   advance_progress();
   const auto it = flows_.find(id);
   if (it == flows_.end()) return false;
+  Flow flow = std::move(it->second);
   flows_.erase(it);
   active_flows_metric_.set(static_cast<double>(flows_.size()));
   reallocate();
+  // Deliver the terminal cancelled completion after the engine state is
+  // consistent: the callback may start a replacement transfer.
+  cancelled_metric_.add(1);
+  TransferCompletion completion{flow.id, flow.size, flow.started,
+                                simulator_.now()};
+  completion.status = lsdf::cancelled("transfer aborted by caller");
+  if (flow.on_complete) flow.on_complete(completion);
   return true;
 }
 
@@ -144,6 +167,9 @@ void TransferEngine::advance_progress() {
   std::vector<Flow> finished;
   for (auto it = flows_.begin(); it != flows_.end();) {
     Flow& flow = it->second;
+    const double moved = std::min(flow.rate_bps * elapsed.seconds(),
+                                  flow.wire_bytes_remaining);
+    credit_link_bytes(flow.path, moved);
     flow.wire_bytes_remaining -= flow.rate_bps * elapsed.seconds();
     if (flow.wire_bytes_remaining <= kEpsilonBytes) {
       finished.push_back(std::move(flow));
@@ -161,7 +187,7 @@ void TransferEngine::advance_progress() {
 void TransferEngine::complete_flow(Flow flow) {
   const TransferCompletion completion{flow.id, flow.size, flow.started,
                                       simulator_.now()};
-  record_completion(completion, flow.path);
+  record_completion(completion);
   if (flow.on_complete) flow.on_complete(completion);
 }
 

@@ -43,6 +43,10 @@ struct TransferCompletion {
   Bytes size;
   SimTime started;
   SimTime finished;
+  // OK when the last byte arrived; kCancelled when the flow was aborted.
+  // Every started flow receives exactly one terminal completion.
+  Status status = Status::ok();
+  [[nodiscard]] bool delivered() const { return status.is_ok(); }
   [[nodiscard]] SimDuration duration() const { return finished - started; }
   [[nodiscard]] Rate goodput() const { return average_rate(size, duration()); }
 };
@@ -60,7 +64,9 @@ class TransferEngine {
                                 const TransferOptions& options,
                                 CompletionCallback on_complete);
 
-  // Abort an in-flight transfer; its callback never fires.
+  // Abort an in-flight transfer. The flow's callback fires exactly once
+  // with a kCancelled status (terminal completion), so holders of
+  // concurrency slots or futures are always released.
   // Returns false if the flow already completed or never existed.
   bool cancel(FlowId id);
 
@@ -97,7 +103,10 @@ class TransferEngine {
     CompletionCallback on_complete;
   };
 
-  // Move every active flow forward to now(), completing any that finish.
+  // Move every active flow forward to now(), crediting each link on the
+  // flow's *current* path with the wire bytes moved this interval (so
+  // rerouted flows attribute bytes to the links that actually carried
+  // them), and completing any flows that finish.
   void advance_progress();
   // Recompute the max-min allocation and schedule the next completion.
   void reallocate();
@@ -107,9 +116,11 @@ class TransferEngine {
 
   // Telemetry: completion totals, duration distribution, live-flow gauge
   // and lazily created per-link byte counters (labels: link id).
-  void record_completion(const TransferCompletion& completion,
-                         const std::vector<LinkId>& path);
+  void record_completion(const TransferCompletion& completion);
   obs::Counter& link_bytes_metric(LinkId link);
+  // Credit `wire_bytes` to every link on `path`, accumulating sub-byte
+  // residue per link so interval-by-interval attribution never drifts.
+  void credit_link_bytes(const std::vector<LinkId>& path, double wire_bytes);
 
   sim::Simulator& simulator_;
   const Topology& topology_;
@@ -122,9 +133,11 @@ class TransferEngine {
 
   obs::Counter& transfers_metric_;
   obs::Counter& bytes_metric_;
+  obs::Counter& cancelled_metric_;
   obs::Histogram& duration_metric_;
   obs::Gauge& active_flows_metric_;
-  std::vector<obs::Counter*> link_bytes_;  // indexed by LinkId
+  std::vector<obs::Counter*> link_bytes_;   // indexed by LinkId
+  std::vector<double> link_bytes_residue_;  // sub-byte carry per link
 };
 
 }  // namespace lsdf::net

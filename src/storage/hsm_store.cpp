@@ -88,7 +88,8 @@ void HsmStore::get(const std::string& object, IoCallback done) {
 Status HsmStore::forget(const std::string& object) {
   const auto it = objects_.find(object);
   if (it == objects_.end()) return not_found(object);
-  if (it->second.migrating || it->second.staging) {
+  if (it->second.migrating || it->second.staging ||
+      it->second.direct_reads > 0) {
     return failed_precondition(object + " has I/O in flight");
   }
   if (it->second.disk_resident) cache_.release(it->second.size);
@@ -208,10 +209,16 @@ void HsmStore::stage_then_read(const std::string& object, IoCallback done) {
   }
   const Status reserved = cache_.reserve(entry.size);
   if (!reserved.is_ok()) {
-    // Cache full of unevictable data: serve directly from tape.
+    // Cache full of unevictable data: serve directly from tape. The read
+    // is marked in flight so forget() cannot drop the tape copy from under
+    // the recall.
+    ++entry.direct_reads;
     ++stats_.tape_direct_reads;
     direct_reads_metric_.add(1);
-    tape_.recall(object, [done = std::move(done)](const TapeResult& result) {
+    tape_.recall(object, [this, object, done = std::move(done)](
+                             const TapeResult& result) {
+      const auto it = objects_.find(object);
+      if (it != objects_.end()) --it->second.direct_reads;
       if (done) {
         done(IoResult{result.status, result.started, result.finished,
                       result.size});
@@ -220,13 +227,24 @@ void HsmStore::stage_then_read(const std::string& object, IoCallback done) {
     return;
   }
   entry.staging = true;
+  const Bytes staged_size = entry.size;  // reservation to undo if forgotten
   ++stats_.tape_stages;
   stages_metric_.add(1);
-  tape_.recall(object, [this, object, request_start,
+  tape_.recall(object, [this, object, request_start, staged_size,
                         done = std::move(done)](
                            const TapeResult& result) mutable {
     const auto it = objects_.find(object);
-    if (it == objects_.end()) return;
+    if (it == objects_.end()) {
+      // Forgotten mid-stage (defensive: forget() rejects while staging).
+      // The reservation must not leak and the caller must still hear back.
+      cache_.release(staged_size);
+      if (done) {
+        done(IoResult{result.status.is_ok() ? not_found(object)
+                                            : result.status,
+                      result.started, result.finished, result.size});
+      }
+      return;
+    }
     Entry& staged = it->second;
     staged.staging = false;
     if (!result.status.is_ok()) {

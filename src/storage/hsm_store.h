@@ -90,6 +90,10 @@ class HsmStore {
     bool tape_resident = false;
     bool migrating = false;
     bool staging = false;
+    // Live direct-from-tape reads (a count: several readers may bypass the
+    // cache at once). Blocks forget() just like migrating/staging, so the
+    // tape copy cannot vanish under an in-flight recall.
+    int direct_reads = 0;
     SimTime last_access;
   };
 

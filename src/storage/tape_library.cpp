@@ -20,6 +20,8 @@ TapeLibrary::TapeLibrary(sim::Simulator& simulator, TapeConfig config)
           "lsdf_tape_mounts_total")),
       mount_hits_metric_(obs::MetricsRegistry::global().counter(
           "lsdf_tape_mount_hits_total")),
+      aborted_metric_(obs::MetricsRegistry::global().counter(
+          "lsdf_tape_aborted_ops_total")),
       recall_latency_metric_(obs::MetricsRegistry::global().histogram(
           "lsdf_tape_recall_seconds",
           // Recalls span seconds (mount hit, small object) to hours
@@ -207,13 +209,36 @@ int TapeLibrary::healthy_drives() const {
 }
 
 Status TapeLibrary::fail_drive() {
+  // Prefer an idle drive: nothing to disrupt.
   for (Drive& drive : drives_) {
     if (!drive.failed && !drive.busy) {
       drive.failed = true;
       return Status::ok();
     }
   }
-  return failed_precondition("no idle healthy drive to fail");
+  // Every healthy drive is busy: abort one mid-operation. The request is
+  // requeued at the head of the queue and restarts from scratch on the
+  // next healthy drive (tape operations are restartable), so its callback
+  // still fires exactly once.
+  for (Drive& drive : drives_) {
+    if (drive.failed) continue;
+    drive.failed = true;
+    ++drive.epoch;  // strand any robot/mount continuation in flight
+    if (drive.streaming) {
+      simulator_.cancel(drive.stream_event);
+      drive.streaming = false;
+    }
+    drive.busy = false;
+    ++aborted_;
+    aborted_metric_.add(1);
+    if (drive.current) {
+      queue_.push_front(std::move(*drive.current));
+      drive.current.reset();
+    }
+    pump();  // another drive may pick the aborted request up immediately
+    return Status::ok();
+  }
+  return failed_precondition("no healthy drive to fail");
 }
 
 void TapeLibrary::repair_drive() {
@@ -267,53 +292,71 @@ void TapeLibrary::pump() {
 
 void TapeLibrary::run_on_drive(std::size_t drive_index, Request request) {
   Drive& drive = drives_[drive_index];
-  const bool needs_mount = drive.mounted != request.cartridge;
+  drive.current = std::make_shared<Request>(std::move(request));
+  const std::uint64_t epoch = ++drive.epoch;
+  const bool needs_mount = drive.mounted != drive.current->cartridge;
 
   // Seek distance scales with the target position on tape.
   const double position_fraction =
-      request.offset.as_double() / config_.cartridge_capacity.as_double();
+      drive.current->offset.as_double() /
+      config_.cartridge_capacity.as_double();
   const auto seek = SimDuration(static_cast<std::int64_t>(
       static_cast<double>(config_.full_seek.nanos()) * position_fraction));
-  const SimDuration stream = transfer_time(request.size, config_.drive_rate);
+  const SimDuration stream =
+      transfer_time(drive.current->size, config_.drive_rate);
 
-  auto finish = [this, drive_index,
-                 request = std::make_shared<Request>(std::move(request)),
-                 seek, stream]() mutable {
-    // Runs once the drive has the right cartridge mounted.
-    simulator_.schedule_after(seek + stream, [this, drive_index, request] {
-      drives_[drive_index].busy = false;
-      if (request->is_archive) {
-        archive_bytes_metric_.add(request->size.count());
-      } else {
-        recall_bytes_metric_.add(request->size.count());
-        recall_latency_metric_.observe(
-            (simulator_.now() - request->submitted).seconds());
-      }
-      if (request->done) {
-        request->done(TapeResult{Status::ok(), request->submitted,
-                                 simulator_.now(), request->size});
-      }
-      pump();
-    });
+  // Runs once the drive has the right cartridge mounted. Every phase
+  // re-checks the drive's epoch: a busy-drive failure bumps it, requeues
+  // the request and strands this chain.
+  auto start_stream = [this, drive_index, epoch, seek, stream] {
+    Drive& d = drives_[drive_index];
+    if (d.epoch != epoch) return;  // aborted while mounting
+    d.streaming = true;
+    d.stream_event =
+        simulator_.schedule_after(seek + stream, [this, drive_index, epoch] {
+          Drive& done_drive = drives_[drive_index];
+          if (done_drive.epoch != epoch) return;
+          done_drive.streaming = false;
+          done_drive.busy = false;
+          const std::shared_ptr<Request> request =
+              std::move(done_drive.current);
+          done_drive.current.reset();
+          if (request->is_archive) {
+            archive_bytes_metric_.add(request->size.count());
+          } else {
+            recall_bytes_metric_.add(request->size.count());
+            recall_latency_metric_.observe(
+                (simulator_.now() - request->submitted).seconds());
+          }
+          if (request->done) {
+            request->done(TapeResult{Status::ok(), request->submitted,
+                                     simulator_.now(), request->size});
+          }
+          pump();
+        });
   };
 
   if (!needs_mount) {
     ++mount_hits_;
     mount_hits_metric_.add(1);
-    finish();
+    start_stream();
     return;
   }
   ++mounts_;
   mounts_metric_.add(1);
-  const std::int64_t cartridge = request.cartridge;
-  robot_.acquire(1, [this, drive_index, cartridge,
-                     finish = std::move(finish)]() mutable {
+  const std::int64_t cartridge = drive.current->cartridge;
+  robot_.acquire(1, [this, drive_index, epoch, cartridge,
+                     start_stream = std::move(start_stream)]() mutable {
     simulator_.schedule_after(
         config_.robot_exchange,
-        [this, drive_index, cartridge, finish = std::move(finish)]() mutable {
+        [this, drive_index, epoch, cartridge,
+         start_stream = std::move(start_stream)]() mutable {
           robot_.release(1);
-          drives_[drive_index].mounted = cartridge;
-          simulator_.schedule_after(config_.mount_time, std::move(finish));
+          Drive& mounting = drives_[drive_index];
+          if (mounting.epoch != epoch) return;  // aborted mid-exchange
+          mounting.mounted = cartridge;
+          simulator_.schedule_after(config_.mount_time,
+                                    std::move(start_stream));
         });
   });
 }

@@ -81,10 +81,16 @@ class TapeLibrary {
   [[nodiscard]] std::int64_t mount_hits() const { return mount_hits_; }
   [[nodiscard]] const std::string& name() const { return config_.name; }
 
-  // Failure injection: take a drive out of service / return it.
+  // Failure injection: take a drive out of service / return it. Idle
+  // drives are preferred; when every healthy drive is busy the drive's
+  // in-flight operation is aborted and requeued at the head of the queue
+  // (restartable media operations), so no callback is ever lost to a
+  // drive failure. Fails only when no healthy drive exists at all.
   [[nodiscard]] Status fail_drive();
   void repair_drive();
   [[nodiscard]] int healthy_drives() const;
+  // Operations aborted (and requeued) by busy-drive failures.
+  [[nodiscard]] std::int64_t aborted_ops() const { return aborted_; }
 
  private:
   struct ObjectLocation {
@@ -105,6 +111,13 @@ class TapeLibrary {
     std::optional<std::int64_t> mounted;  // cartridge id
     bool busy = false;
     bool failed = false;
+    bool streaming = false;          // stream_event is pending
+    // Bumped when the drive's in-flight operation is aborted (and on each
+    // new assignment); robot/mount continuations from a superseded
+    // operation compare epochs and bail out instead of resurrecting it.
+    std::uint64_t epoch = 0;
+    std::shared_ptr<Request> current;  // in-flight request, for abort
+    sim::EventId stream_event{};
   };
 
   void enqueue(Request request);
@@ -128,12 +141,14 @@ class TapeLibrary {
   bool compacting_ = false;
   std::int64_t mounts_ = 0;
   std::int64_t mount_hits_ = 0;
+  std::int64_t aborted_ = 0;
 
   // Telemetry.
   obs::Counter& archive_bytes_metric_;
   obs::Counter& recall_bytes_metric_;
   obs::Counter& mounts_metric_;
   obs::Counter& mount_hits_metric_;
+  obs::Counter& aborted_metric_;
   obs::Histogram& recall_latency_metric_;
 };
 

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <functional>
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <thread>
 
 #include "common/require.h"
 #include "exec/parallel.h"
@@ -78,6 +81,40 @@ TEST(ThreadPool, DestructorDrainsPendingWork) {
     }
   }  // destructor joins
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ShutdownRaceNeverLosesAcceptedTasks) {
+  // Regression: submit() used to check stopping_ and then enqueue without
+  // holding the mutex the destructor sets stopping_ under, so a task
+  // submitted while workers drained could be accepted yet never execute.
+  // Self-feeding tasks keep submissions racing the destructor's drain;
+  // every submit that returns without throwing must have its task run.
+  for (int round = 0; round < 25; ++round) {
+    std::atomic<std::int64_t> executed{0};
+    std::atomic<std::int64_t> accepted{0};
+    // Declared before the pool: the destructor's drain still runs tasks
+    // that call self_feeding, so it must outlive the pool.
+    std::function<void()> self_feeding;
+    {
+      ThreadPool pool(4);
+      self_feeding = [&] {
+        executed.fetch_add(1, std::memory_order_relaxed);
+        try {
+          pool.submit(self_feeding);
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        } catch (const ContractViolation&) {
+          // Pool is stopping: rejected before any state changed.
+        }
+      };
+      for (int i = 0; i < 8; ++i) {
+        pool.submit(self_feeding);
+        accepted.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Let the chains churn briefly, then destroy the pool mid-flight.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }  // destructor drains: every accepted task must have run by now
+    EXPECT_EQ(executed.load(), accepted.load());
+  }
 }
 
 TEST(ThreadPool, SingleThreadPoolStillWorks) {

@@ -23,7 +23,7 @@ struct MirrorFixture {
 
   static MirrorConfig base_config() {
     MirrorConfig config;
-    config.retry_backoff = 1_min;
+    config.retry.initial_backoff = 1_min;
     return config;
   }
   static MirrorConfig patch(MirrorConfig config, Facility& facility) {
@@ -121,8 +121,8 @@ TEST(MirrorService, SurvivesWanOutageViaInFlightStall) {
 
 TEST(MirrorService, RetriesWhenWanIsDownAtSubmission) {
   MirrorConfig config = MirrorFixture::base_config();
-  config.max_attempts = 10;
-  config.retry_backoff = 1_min;
+  config.retry.max_attempts = 10;
+  config.retry.initial_backoff = 1_min;
   MirrorFixture f(config);
   const meta::DatasetId id = f.ingest_one("frame-1");
   f.facility.set_wan_up(false);
@@ -138,8 +138,8 @@ TEST(MirrorService, RetriesWhenWanIsDownAtSubmission) {
 
 TEST(MirrorService, GivesUpAfterMaxAttempts) {
   MirrorConfig config = MirrorFixture::base_config();
-  config.max_attempts = 3;
-  config.retry_backoff = 1_min;
+  config.retry.max_attempts = 3;
+  config.retry.initial_backoff = 1_min;
   MirrorFixture f(config);
   const meta::DatasetId id = f.ingest_one("frame-1");
   f.facility.set_wan_up(false);

@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <optional>
+#include <string>
 
 #include "net/topology.h"
 #include "net/transfer_engine.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace lsdf::net {
@@ -276,7 +278,9 @@ TEST(TransferEngine, NoRouteReportsError) {
   EXPECT_EQ(flow.status().code(), StatusCode::kUnavailable);
 }
 
-TEST(TransferEngine, CancelPreventsCompletion) {
+TEST(TransferEngine, CancelDeliversTerminalCancelledCompletion) {
+  // Regression: cancel() used to erase the flow without firing on_complete,
+  // leaking any concurrency slot held against the callback.
   sim::Simulator sim;
   Topology topo = line_topology(2, Rate::megabytes_per_second(10.0));
   TransferEngine engine(sim, topo);
@@ -287,10 +291,74 @@ TEST(TransferEngine, CancelPreventsCompletion) {
                         .value();
   sim.run_until(SimTime::zero() + 5_s);
   EXPECT_TRUE(engine.cancel(id));
+  ASSERT_TRUE(capture.completion.has_value());
+  EXPECT_EQ(capture.completion->status.code(), StatusCode::kCancelled);
+  EXPECT_FALSE(capture.completion->delivered());
+  EXPECT_EQ(capture.completion->id, id);
   sim.run();
-  EXPECT_FALSE(capture.completion.has_value());
   EXPECT_EQ(engine.active_flows(), 0u);
+  // Exactly one terminal completion: a second cancel finds nothing.
   EXPECT_FALSE(engine.cancel(id));
+}
+
+TEST(TransferEngine, CompletedFlowsReportOkStatus) {
+  sim::Simulator sim;
+  Topology topo = line_topology(2, Rate::megabytes_per_second(100.0));
+  TransferEngine engine(sim, topo);
+  Capture capture;
+  ASSERT_TRUE(engine
+                  .start_transfer(0, 1, 100_MB, TransferOptions{},
+                                  capture.cb())
+                  .is_ok());
+  sim.run();
+  ASSERT_TRUE(capture.completion.has_value());
+  EXPECT_TRUE(capture.completion->delivered());
+}
+
+TEST(TransferEngine, ReroutedFlowCreditsBytesToLinksThatCarriedThem) {
+  // Regression: completion-time attribution credited all of a flow's bytes
+  // to its final path, so a mid-flight failover under-counted the original
+  // links and over-counted the replacement.
+  sim::Simulator sim;
+  Topology topo;
+  const NodeId s = topo.add_node("src");
+  const NodeId a = topo.add_node("via-a");
+  const NodeId b = topo.add_node("via-b");
+  const NodeId d = topo.add_node("dst");
+  const Rate rate = Rate::megabytes_per_second(100.0);
+  const LinkId s_a = topo.add_duplex_link(s, a, rate, SimDuration::zero());
+  const LinkId a_d = topo.add_duplex_link(a, d, rate, SimDuration::zero());
+  const LinkId s_b = topo.add_duplex_link(s, b, rate, SimDuration::zero());
+  const LinkId b_d = topo.add_duplex_link(b, d, rate, SimDuration::zero());
+
+  auto link_bytes = [](LinkId link) {
+    return obs::MetricsRegistry::global().counter_value(
+        "lsdf_net_link_bytes_total", {{"link", std::to_string(link)}});
+  };
+  const std::int64_t base_s_a = link_bytes(s_a);
+  const std::int64_t base_a_d = link_bytes(a_d);
+  const std::int64_t base_s_b = link_bytes(s_b);
+  const std::int64_t base_b_d = link_bytes(b_d);
+
+  TransferEngine engine(sim, topo);
+  Capture capture;
+  // Tie-break routes via the smaller link ids: the flow starts on s-a-d.
+  ASSERT_TRUE(engine
+                  .start_transfer(s, d, 100_MB, TransferOptions{},
+                                  capture.cb())
+                  .is_ok());
+  sim.run_until(SimTime::zero() + 500_ms);  // ~50 MB moved over s-a-d
+  topo.set_duplex_up(s_a, false);           // failover: reroute via s-b-d
+  engine.resync();
+  sim.run();
+  ASSERT_TRUE(capture.completion.has_value());
+  EXPECT_TRUE(capture.completion->delivered());
+
+  const double mb = 1e6;
+  EXPECT_NEAR(static_cast<double>(link_bytes(s_a) - base_s_a), 50 * mb, mb);
+  EXPECT_NEAR(static_cast<double>(link_bytes(a_d) - base_a_d), 50 * mb, mb);
+  EXPECT_NEAR(static_cast<double>(link_bytes(s_b) - base_s_b), 50 * mb, mb);
+  EXPECT_NEAR(static_cast<double>(link_bytes(b_d) - base_b_d), 50 * mb, mb);
 }
 
 TEST(TransferEngine, LinkLoadReflectsAllocation) {

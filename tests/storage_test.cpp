@@ -318,6 +318,63 @@ TEST(TapeLibrary, DriveFailureShrinksParallelismAndRepairRestores) {
   EXPECT_EQ(tape.healthy_drives(), 2);
 }
 
+TEST(TapeLibrary, FailingTheOnlyBusyDriveAbortsAndRequeues) {
+  // Regression: fail_drive() used to refuse while every healthy drive was
+  // busy, so the fault injector could never take down a loaded library. The
+  // in-flight operation must be aborted, requeued, and finish (exactly
+  // once) after repair.
+  sim::Simulator sim;
+  TapeConfig config = small_tape();
+  config.drive_count = 1;
+  TapeLibrary tape(sim, config);
+  int completions = 0;
+  std::optional<TapeResult> result;
+  tape.archive("x", 1_GB, [&](const TapeResult& r) {
+    ++completions;
+    result = r;
+  });
+  // Mid-mount (robot 10 s + mount 20 s): the drive is busy.
+  sim.run_until(SimTime::zero() + 15_s);
+  ASSERT_TRUE(tape.fail_drive().is_ok());
+  EXPECT_EQ(tape.healthy_drives(), 0);
+  EXPECT_EQ(tape.aborted_ops(), 1);
+  EXPECT_EQ(tape.fail_drive().code(), StatusCode::kFailedPrecondition);
+  sim.run();
+  EXPECT_EQ(completions, 0);  // parked in the queue, not dropped
+  EXPECT_EQ(tape.queue_length(), 1u);
+
+  tape.repair_drive();
+  sim.run();
+  EXPECT_EQ(completions, 1);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->status.is_ok());
+  EXPECT_TRUE(tape.contains("x"));
+  // The original submission time is preserved across the abort.
+  EXPECT_EQ(result->started, SimTime::zero());
+}
+
+TEST(TapeLibrary, AbortedStreamDoesNotResurrectAfterReassignment) {
+  // The aborted operation's pending robot/mount/stream continuations must
+  // not fire on the repaired drive once new work has been assigned to it.
+  sim::Simulator sim;
+  TapeConfig config = small_tape();
+  config.drive_count = 1;
+  TapeLibrary tape(sim, config);
+  int a_completions = 0;
+  int b_completions = 0;
+  tape.archive("a", 1_GB, [&](const TapeResult&) { ++a_completions; });
+  sim.run_until(SimTime::zero() + 35_s);  // mounted, mid-stream
+  ASSERT_TRUE(tape.fail_drive().is_ok());
+  tape.archive("b", 1_GB, [&](const TapeResult&) { ++b_completions; });
+  tape.repair_drive();
+  sim.run();
+  // Both operations complete exactly once, the requeued "a" first.
+  EXPECT_EQ(a_completions, 1);
+  EXPECT_EQ(b_completions, 1);
+  EXPECT_TRUE(tape.contains("a"));
+  EXPECT_TRUE(tape.contains("b"));
+}
+
 // --- Tape reclamation ----------------------------------------------------------
 
 TEST(TapeReclamation, ForgetMarksDeadSpaceAndBlocksRecall) {
@@ -554,6 +611,37 @@ TEST(HsmStore, ForgetRemovesObject) {
   EXPECT_FALSE(f.hsm.contains("obj"));
   EXPECT_EQ(f.cache.used(), 0_B);
   EXPECT_EQ(f.hsm.forget("obj").code(), StatusCode::kNotFound);
+}
+
+TEST(HsmStore, ForgetDuringDirectTapeReadIsRejected) {
+  // Regression: a direct-from-tape read left no in-flight marker, so
+  // forget() could drop the tape copy from under the recall and the caller
+  // observed a read of an object that "never existed".
+  HsmFixture f;
+  f.hsm.start();
+  // Migrate "cold" to tape, then evict it by filling the cache with
+  // unevictable (disk-only) objects.
+  f.hsm.put("cold", 1_GB, nullptr);
+  f.sim.run_until(SimTime::zero() + 10_min);
+  ASSERT_TRUE(f.hsm.on_tape("cold"));
+  for (int i = 0; i < 10; ++i) {
+    f.hsm.put("pinned-" + std::to_string(i), 1_GB, nullptr);
+  }
+  f.sim.run_until(f.sim.now() + 5_s);
+  ASSERT_FALSE(f.hsm.on_disk("cold"));       // evicted under pressure
+  ASSERT_EQ(f.cache.used(), 10_GB);          // cache full of pinned data
+
+  std::optional<IoResult> get;
+  f.hsm.get("cold", [&](const IoResult& r) { get = r; });
+  // The recall is in flight (no cache space -> direct from tape): the
+  // object must be unforgettable until it completes.
+  EXPECT_EQ(f.hsm.forget("cold").code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(f.sim.run_while_pending([&] { return get.has_value(); }));
+  EXPECT_TRUE(get->status.is_ok());
+  EXPECT_EQ(f.hsm.stats().tape_direct_reads, 1);
+  // Once the read has drained the in-flight marker, forget() works.
+  EXPECT_TRUE(f.hsm.forget("cold").is_ok());
+  f.hsm.stop();
 }
 
 TEST(HsmStore, SizeOfAndNames) {
