@@ -137,6 +137,10 @@ struct MirrorScenarioResult {
   std::int64_t retries = 0;
   std::int64_t faults = 0;
   double makespan_hours = 0.0;
+  // Kernel execution fingerprint (chk): the strongest replay witness —
+  // equal digests mean the identical event sequence, not just equal
+  // aggregate numbers.
+  std::uint64_t fingerprint = 0;
 };
 
 // 1 PB mirrored to Heidelberg as 50 x 20 TB chunks submitted every 25 min
@@ -186,6 +190,7 @@ MirrorScenarioResult run_mirror_scenario(const Properties& plan,
   sim.run();
   result.faults = injector.injected();
   result.makespan_hours = (last_done - SimTime::zero()).hours();
+  result.fingerprint = sim.fingerprint();
   return result;
 }
 
@@ -320,6 +325,12 @@ int main(int argc, char** argv) {
                replay.makespan_hours);
     bench::compare("replay bit-identical to first run", 1.0,
                    identical ? 1.0 : 0.0, "bool");
+    bench::row("execution fingerprint: %016llx vs %016llx",
+               static_cast<unsigned long long>(mirror.fingerprint),
+               static_cast<unsigned long long>(replay.fingerprint));
+    bench::compare("event-sequence fingerprints identical", 1.0,
+                   replay.fingerprint == mirror.fingerprint ? 1.0 : 0.0,
+                   "bool");
   }
 
   bench::section("tape-drive loss during the HSM migration sweep");

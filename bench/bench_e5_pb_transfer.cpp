@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "bench_util.h"
+#include "chk/replay.h"
 #include "core/facility.h"
 
 using namespace lsdf;
@@ -104,6 +105,33 @@ int main() {
     bench::compare("in-place speedup over WAN export", 3.0,
                    days_at_62 / pb_days, "x (shape: >1 means compute-to-"
                    "data wins)");
+  }
+
+  bench::section("determinism: same-seed replay of the contended WAN run");
+  {
+    // chk::replay_check reruns the whole facility-scale scenario and
+    // compares kernel fingerprints — an order-sensitive digest of every
+    // dispatched event, far stronger than comparing summary numbers.
+    const chk::Scenario scenario = [](std::uint64_t seed) {
+      core::Facility facility(core::small_facility_config());
+      net::TransferOptions options;
+      options.efficiency = 0.62;
+      std::optional<net::TransferCompletion> bulk;
+      (void)facility.network().start_transfer(
+          facility.ingest_node(), facility.heidelberg_node(),
+          static_cast<std::int64_t>(seed % 7 + 1) * 100_TB, options,
+          [&](const net::TransferCompletion& c) { bulk = c; });
+      (void)facility.network().start_transfer(
+          facility.daq_node(), facility.heidelberg_node(), 40_TB, options,
+          nullptr);
+      facility.simulator().run_while_pending(
+          [&] { return bulk.has_value(); });
+      return chk::outcome_of(facility.simulator());
+    };
+    const chk::ReplayReport report = chk::replay_check(scenario, 20110516);
+    bench::row("%s", report.describe().c_str());
+    bench::compare("same-seed fingerprints identical", 1.0,
+                   report.deterministic() ? 1.0 : 0.0, "bool");
   }
   return 0;
 }

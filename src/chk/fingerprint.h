@@ -1,0 +1,41 @@
+// Order-sensitive execution fingerprint (FNV-1a over folded 64-bit words).
+//
+// The sim kernel folds (event id, timestamp, seq) of every dispatched event
+// into one of these; two runs of the same scenario produce equal
+// fingerprints iff they executed the identical event sequence. Because the
+// hash is order-sensitive, any nondeterminism — unordered-container
+// iteration deciding scheduling order, a stray wall-clock read feeding a
+// delay — shows up as a digest mismatch, which chk::replay_check turns
+// into a test failure (DESIGN.md §4e).
+#pragma once
+
+#include <cstdint>
+
+namespace lsdf::chk {
+
+inline constexpr std::uint64_t kFnv64Offset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv64Prime = 0x00000100000001b3ULL;
+
+// Fold one 64-bit word into an FNV-1a state, byte by byte (little-endian).
+[[nodiscard]] constexpr std::uint64_t fnv1a_fold(std::uint64_t state,
+                                                 std::uint64_t word) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    state ^= (word >> shift) & 0xffU;
+    state *= kFnv64Prime;
+  }
+  return state;
+}
+
+class Fingerprint {
+ public:
+  constexpr void fold(std::uint64_t word) { state_ = fnv1a_fold(state_, word); }
+  [[nodiscard]] constexpr std::uint64_t value() const { return state_; }
+  constexpr void reset() { state_ = kFnv64Offset; }
+
+  friend constexpr bool operator==(Fingerprint, Fingerprint) = default;
+
+ private:
+  std::uint64_t state_ = kFnv64Offset;
+};
+
+}  // namespace lsdf::chk

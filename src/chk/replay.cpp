@@ -1,0 +1,47 @@
+#include "chk/replay.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/require.h"
+
+namespace lsdf::chk {
+
+std::string ReplayReport::describe() const {
+  std::ostringstream out;
+  out << std::hex << std::showbase;
+  if (deterministic()) {
+    out << "deterministic: fingerprint=" << first.fingerprint << std::dec
+        << " events=" << first.events << " (seed " << seed << ")";
+    return out.str();
+  }
+  out << "NONDETERMINISTIC: fingerprint " << first.fingerprint << " vs "
+      << second.fingerprint << std::dec;
+  if (first.events != second.events) {
+    out << "; event count " << first.events << " vs " << second.events
+        << " (the two runs did different work)";
+  } else {
+    out << "; same event count " << first.events
+        << " (same work, different order or timestamps)";
+  }
+  out << " (seed " << seed << ")";
+  return out.str();
+}
+
+ReplayReport replay_check(const Scenario& scenario, std::uint64_t seed) {
+  LSDF_REQUIRE(scenario != nullptr, "replay_check needs a scenario");
+  ReplayReport report;
+  report.seed = seed;
+  report.first = scenario(seed);
+  report.second = scenario(seed);
+  return report;
+}
+
+void require_replay_deterministic(const Scenario& scenario, std::uint64_t seed,
+                                  const std::string& what) {
+  const ReplayReport report = replay_check(scenario, seed);
+  LSDF_REQUIRE(report.deterministic(),
+               what + " failed same-seed replay: " + report.describe());
+}
+
+}  // namespace lsdf::chk

@@ -1,0 +1,56 @@
+// Same-seed replay harness: run a scenario twice and fail on divergence.
+//
+// DESIGN.md §5 makes determinism a hard requirement of the sim kernel;
+// this is the tool that *checks* it. A scenario is a closure that builds a
+// fresh simulated world from a seed, runs it, and returns the kernel's
+// execution fingerprint (Simulator::fingerprint() — an order-sensitive
+// digest of every dispatched event). replay_check invokes it twice with
+// the same seed; unequal fingerprints mean the model consulted something
+// outside the seeded state — unordered-container iteration order, a
+// wall-clock read, leftover global state — and the harness reports
+// exactly that. Wired into bench_e5/bench_a5 and sim_determinism_test.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.h"
+
+namespace lsdf::chk {
+
+// What one scenario run produced. `events` is diagnostic detail: when
+// fingerprints diverge, an event-count delta localises the drift to
+// "different work" vs "same work, different order".
+struct ReplayOutcome {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t events = 0;
+  friend bool operator==(const ReplayOutcome&, const ReplayOutcome&) = default;
+};
+
+// Convenience: capture a finished simulator's outcome.
+[[nodiscard]] inline ReplayOutcome outcome_of(const sim::Simulator& sim) {
+  return ReplayOutcome{sim.fingerprint(), sim.executed_events()};
+}
+
+using Scenario = std::function<ReplayOutcome(std::uint64_t seed)>;
+
+struct ReplayReport {
+  std::uint64_t seed = 0;
+  ReplayOutcome first;
+  ReplayOutcome second;
+  [[nodiscard]] bool deterministic() const { return first == second; }
+  // "deterministic: fingerprint=0x... events=N" or a divergence diagnosis.
+  [[nodiscard]] std::string describe() const;
+};
+
+// Run `scenario` twice with `seed` and compare.
+[[nodiscard]] ReplayReport replay_check(const Scenario& scenario,
+                                        std::uint64_t seed);
+
+// Throws ContractViolation naming `what` when the scenario diverges —
+// the one-liner tests and benches assert with.
+void require_replay_deterministic(const Scenario& scenario, std::uint64_t seed,
+                                  const std::string& what);
+
+}  // namespace lsdf::chk

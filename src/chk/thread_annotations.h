@@ -1,0 +1,36 @@
+// Clang thread-safety-analysis attributes behind the LSDF_TS() macro.
+//
+// Under clang with -Wthread-safety these expand to the capability
+// attributes, turning the annotations on chk::TrackedMutex and the
+// GUARDED_BY/REQUIRES markers in exec/obs into a compile-time race
+// detector (CI builds the tree with -Werror=thread-safety). Under GCC —
+// the default local toolchain — every macro expands to nothing, so the
+// annotations cost nothing and cannot break the build.
+#pragma once
+
+#if defined(__clang__)
+#define LSDF_TS(x) __attribute__((x))
+#else
+#define LSDF_TS(x)
+#endif
+
+// A type that acts as a lock (chk::TrackedMutex).
+#define LSDF_CAPABILITY(x) LSDF_TS(capability(x))
+// RAII type that acquires on construction and releases on destruction.
+#define LSDF_SCOPED_CAPABILITY LSDF_TS(scoped_lockable)
+
+// Data members readable/writable only while the capability is held.
+#define LSDF_GUARDED_BY(x) LSDF_TS(guarded_by(x))
+#define LSDF_PT_GUARDED_BY(x) LSDF_TS(pt_guarded_by(x))
+
+// Function contracts.
+#define LSDF_REQUIRES(...) LSDF_TS(requires_capability(__VA_ARGS__))
+#define LSDF_ACQUIRE(...) LSDF_TS(acquire_capability(__VA_ARGS__))
+#define LSDF_RELEASE(...) LSDF_TS(release_capability(__VA_ARGS__))
+#define LSDF_TRY_ACQUIRE(...) LSDF_TS(try_acquire_capability(__VA_ARGS__))
+#define LSDF_EXCLUDES(...) LSDF_TS(locks_excluded(__VA_ARGS__))
+#define LSDF_RETURN_CAPABILITY(x) LSDF_TS(lock_returned(x))
+
+// Escape hatch for functions whose locking is correct but beyond the
+// analysis (e.g. condition-variable wait loops with conditional unlock).
+#define LSDF_NO_THREAD_SAFETY_ANALYSIS LSDF_TS(no_thread_safety_analysis)

@@ -4,9 +4,10 @@
 
 #include <chrono>
 #include <iostream>
-#include <mutex>
 #include <sstream>
 #include <string_view>
+
+#include "chk/lock_registry.h"
 
 namespace lsdf {
 
@@ -32,8 +33,8 @@ class Log {
     // kOff must not sneak past an kOff threshold.
     if (level >= LogLevel::kOff) return;
     if (level < threshold()) return;
-    static std::mutex mu;
-    const std::scoped_lock lock(mu);
+    static chk::TrackedMutex mu{"common.log"};
+    const chk::LockGuard lock(mu);
     if (timestamps()) {
       static const auto epoch = std::chrono::steady_clock::now();
       const double seconds =

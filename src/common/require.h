@@ -1,5 +1,12 @@
-// Contract checks. A violated LSDF_REQUIRE is a programming error, not an
-// expected failure, so it throws ContractViolation (catchable by tests).
+// Contract checks, two tiers:
+//
+//   LSDF_REQUIRE — always on. API-boundary contracts whose violation means
+//     a caller bug; throws ContractViolation (catchable by tests).
+//   LSDF_DCHECK  — debug-only internal invariants on hot paths (the sim
+//     kernel dispatch loop, Resource::pump). Compiled out — condition and
+//     message unevaluated — when NDEBUG is set (Release/RelWithDebInfo);
+//     active in Debug builds and under the sanitizer CI jobs. Override
+//     with -DLSDF_DCHECK_ENABLED=0/1.
 #pragma once
 
 #include <stdexcept>
@@ -28,3 +35,25 @@ namespace detail {
     if (!(cond))                                                        \
       ::lsdf::detail::contract_failure(#cond, __FILE__, __LINE__, msg); \
   } while (false)
+
+#ifndef LSDF_DCHECK_ENABLED
+#ifdef NDEBUG
+#define LSDF_DCHECK_ENABLED 0
+#else
+#define LSDF_DCHECK_ENABLED 1
+#endif
+#endif
+
+#if LSDF_DCHECK_ENABLED
+#define LSDF_DCHECK(cond, msg) LSDF_REQUIRE(cond, msg)
+#else
+// Compiled out: the expressions stay type-checked but never execute, so a
+// DCHECK can never add work (or side effects) to a Release hot path.
+#define LSDF_DCHECK(cond, msg) \
+  do {                         \
+    if (false) {               \
+      (void)(cond);            \
+      (void)(msg);             \
+    }                          \
+  } while (false)
+#endif

@@ -36,7 +36,7 @@ ThreadPool::~ThreadPool() {
     // stopping_ is only ever set under sleep_mutex_, and submit() checks it
     // under the same mutex: once this store is visible, no further task can
     // be enqueued, so the workers' drain loops observe a stable queue set.
-    const std::lock_guard lock(sleep_mutex_);
+    const chk::LockGuard lock(sleep_mutex_);
     stopping_.store(true);
   }
   work_available_.notify_all();
@@ -64,11 +64,11 @@ void ThreadPool::submit(Task task) {
     // that loses the race is rejected here instead, before any state
     // changes. Holding the mutex also pairs with the waiters' predicate
     // check so a notify cannot slip into the check-then-block window.
-    const std::lock_guard lock(sleep_mutex_);
+    const chk::LockGuard lock(sleep_mutex_);
     LSDF_REQUIRE(!stopping_.load(), "submit on a stopping pool");
     pending_metric_.set(static_cast<double>(
         pending_.fetch_add(1, std::memory_order_acq_rel) + 1));
-    const std::lock_guard qlock(queues_[target]->mutex);
+    const chk::LockGuard qlock(queues_[target]->mutex);
     queues_[target]->tasks.push_back(std::move(task));
     worker_depth_metric_[target]->set(
         static_cast<double>(queues_[target]->tasks.size()));
@@ -78,7 +78,7 @@ void ThreadPool::submit(Task task) {
 
 bool ThreadPool::try_pop(std::size_t index, Task& task) {
   WorkerQueue& queue = *queues_[index];
-  const std::lock_guard lock(queue.mutex);
+  const chk::LockGuard lock(queue.mutex);
   if (queue.tasks.empty()) return false;
   task = std::move(queue.tasks.front());
   queue.tasks.pop_front();
@@ -90,7 +90,7 @@ bool ThreadPool::try_steal(std::size_t thief, Task& task) {
   for (std::size_t offset = 1; offset < queues_.size(); ++offset) {
     const std::size_t victim = (thief + offset) % queues_.size();
     WorkerQueue& queue = *queues_[victim];
-    const std::lock_guard lock(queue.mutex);
+    const chk::LockGuard lock(queue.mutex);
     if (queue.tasks.empty()) continue;
     // Steal from the back: the oldest work a busy victim is least likely
     // to touch soon.
@@ -120,19 +120,19 @@ void ThreadPool::worker_loop(std::size_t index) {
       pending_metric_.set(static_cast<double>(left));
       if (left == 0) {
         {
-          const std::lock_guard lock(sleep_mutex_);
+          const chk::LockGuard lock(sleep_mutex_);
         }
         all_idle_.notify_all();
       }
       continue;
     }
-    std::unique_lock lock(sleep_mutex_);
+    chk::UniqueLock lock(sleep_mutex_);
     work_available_.wait(lock, [this, index] {
       if (stopping_.load()) return true;
       // Re-check queues under the sleep mutex: any submit after this check
       // holds/held the mutex before notifying, so no wakeup is lost.
       for (const auto& queue : queues_) {
-        const std::lock_guard qlock(queue->mutex);
+        const chk::LockGuard qlock(queue->mutex);
         if (!queue->tasks.empty()) return true;
       }
       (void)index;
@@ -159,7 +159,7 @@ void ThreadPool::worker_loop(std::size_t index) {
 void ThreadPool::wait_idle() {
   LSDF_REQUIRE(current_pool != this,
                "wait_idle() from inside a pool task would deadlock");
-  std::unique_lock lock(sleep_mutex_);
+  chk::UniqueLock lock(sleep_mutex_);
   all_idle_.wait(lock, [this] {
     return pending_.load(std::memory_order_acquire) == 0;
   });

@@ -15,11 +15,12 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "chk/lock_registry.h"
+#include "chk/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace lsdf::exec {
@@ -79,8 +80,11 @@ class ThreadPool {
 
  private:
   struct WorkerQueue {
-    std::mutex mutex;
-    std::deque<Task> tasks;
+    // All worker queues share one lock-order graph node ("exec.worker_queue"):
+    // an inversion against any other lock class is the same bug whichever
+    // worker exhibits it.
+    chk::TrackedMutex mutex{"exec.worker_queue"};
+    std::deque<Task> tasks LSDF_GUARDED_BY(mutex);
   };
 
   void worker_loop(std::size_t index);
@@ -89,9 +93,11 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
-  std::mutex sleep_mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_idle_;
+  chk::TrackedMutex sleep_mutex_{"exec.pool_sleep"};
+  // _any variants: TrackedMutex is BasicLockable but not a std::mutex, and
+  // chk::UniqueLock keeps hold-time accounting exact across waits.
+  std::condition_variable_any work_available_;
+  std::condition_variable_any all_idle_;
   std::atomic<std::int64_t> pending_{0};
   std::atomic<std::int64_t> executed_{0};
   std::atomic<std::int64_t> steals_{0};

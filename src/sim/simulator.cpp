@@ -15,7 +15,7 @@ Simulator::Simulator()
 
 EventId Simulator::schedule_at(SimTime t, Callback callback) {
   LSDF_REQUIRE(t >= now_, "cannot schedule an event in the simulated past");
-  LSDF_REQUIRE(callback != nullptr, "null event callback");
+  LSDF_DCHECK(callback != nullptr, "null event callback");
   const std::uint64_t id = next_id_++;
   queue_.push(QueueEntry{t, next_seq_++, id, now_});
   callbacks_.emplace(id, std::move(callback));
@@ -41,11 +41,18 @@ bool Simulator::step() {
   const QueueEntry entry = queue_.top();
   queue_.pop();
   const auto it = callbacks_.find(entry.id);
+  LSDF_DCHECK(it != callbacks_.end(),
+              "settle_top() left a cancelled event at the queue head");
   Callback callback = std::move(it->second);
   callbacks_.erase(it);
   --live_events_;
   now_ = entry.time;
   ++executed_;
+  // Execution fingerprint: order-sensitive, so identical digests mean the
+  // identical dispatch sequence (id, time, seq) — the determinism check.
+  fingerprint_.fold(entry.id);
+  fingerprint_.fold(static_cast<std::uint64_t>(entry.time.nanos()));
+  fingerprint_.fold(entry.seq);
   events_metric_.add(1);
   queue_depth_metric_.set(static_cast<double>(live_events_));
   event_lag_metric_.observe((entry.time - entry.enqueued).seconds());
@@ -93,6 +100,8 @@ void Resource::release(std::int64_t units) {
 }
 
 void Resource::pump() {
+  LSDF_DCHECK(in_use_ >= 0 && in_use_ <= capacity_,
+              "resource accounting out of range on " + name_);
   // Strict FIFO: a large request at the head blocks smaller ones behind it,
   // matching how the facility's batch queues behave (no starvation).
   while (!waiters_.empty() && waiters_.front().units <= available()) {

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "chk/fingerprint.h"
 #include "common/require.h"
 #include "common/units.h"
 #include "obs/metrics.h"
@@ -22,6 +23,8 @@
 namespace lsdf::sim {
 
 // Handle for a scheduled event; usable to cancel it before it fires.
+// Hashable (std::hash specialisation below), so model code can key
+// unordered maps by pending event.
 struct EventId {
   std::uint64_t value = 0;
   friend bool operator==(EventId, EventId) = default;
@@ -67,6 +70,14 @@ class Simulator {
   [[nodiscard]] std::size_t pending_events() const { return live_events_; }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
+  // Order-sensitive digest of every event dispatched so far: step() folds
+  // (event id, timestamp, seq) into an FNV-1a state. Two runs of the same
+  // scenario are deterministic iff their fingerprints are equal — the
+  // property chk::replay_check asserts (DESIGN.md §4e).
+  [[nodiscard]] std::uint64_t fingerprint() const {
+    return fingerprint_.value();
+  }
+
  private:
   struct QueueEntry {
     SimTime time;
@@ -88,9 +99,12 @@ class Simulator {
   std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::size_t live_events_ = 0;
+  chk::Fingerprint fingerprint_;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>,
                       std::greater<QueueEntry>>
       queue_;
+  // Never iterated (only point lookups), so its unordered layout cannot
+  // leak into event order — see tools/lint.py's determinism rules.
   std::unordered_map<std::uint64_t, Callback> callbacks_;
 
   // Process-wide telemetry (obs/metrics.h): handles resolved once here,
@@ -166,3 +180,13 @@ class PeriodicTask {
 };
 
 }  // namespace lsdf::sim
+
+// EventId as an unordered-container key (e.g. a model tracking per-event
+// bookkeeping it must drop on cancel).
+template <>
+struct std::hash<lsdf::sim::EventId> {
+  [[nodiscard]] std::size_t operator()(
+      const lsdf::sim::EventId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};

@@ -17,6 +17,41 @@
 namespace lsdf {
 namespace {
 
+// --- Contracts ---------------------------------------------------------------
+
+TEST(Require, ThrowsWithExpressionAndMessage) {
+  try {
+    LSDF_REQUIRE(1 + 1 == 3, "arithmetic is broken");
+    FAIL() << "LSDF_REQUIRE must throw";
+  } catch (const ContractViolation& violation) {
+    const std::string what = violation.what();
+    EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("arithmetic is broken"), std::string::npos) << what;
+  }
+}
+
+TEST(Require, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(LSDF_REQUIRE(true, "never fires"));
+}
+
+TEST(Dcheck, MatchesBuildConfiguration) {
+#if LSDF_DCHECK_ENABLED
+  // Debug / sanitizer builds: LSDF_DCHECK is exactly LSDF_REQUIRE.
+  EXPECT_THROW(LSDF_DCHECK(false, "debug invariant"), ContractViolation);
+  EXPECT_NO_THROW(LSDF_DCHECK(true, "holds"));
+#else
+  // Release builds: compiled out — must not throw or evaluate the
+  // condition.
+  bool evaluated = false;
+  auto probe = [&evaluated] {
+    evaluated = true;
+    return false;
+  };
+  EXPECT_NO_THROW(LSDF_DCHECK(probe(), "compiled out"));
+  EXPECT_FALSE(evaluated) << "a disabled DCHECK must not run its condition";
+#endif
+}
+
 // --- Units -------------------------------------------------------------------
 
 TEST(Units, ByteLiteralsUseDecimalPrefixes) {

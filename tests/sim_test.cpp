@@ -3,6 +3,7 @@
 // subsystem relies on.
 #include <gtest/gtest.h>
 
+#include <unordered_map>
 #include <vector>
 
 #include "common/require.h"
@@ -69,10 +70,14 @@ TEST(Simulator, SchedulingInThePastViolatesContract) {
   EXPECT_THROW(sim.schedule_at(SimTime(5), [] {}), ContractViolation);
 }
 
+#if LSDF_DCHECK_ENABLED
+// Null callbacks are an internal-invariant check (LSDF_DCHECK): enforced in
+// Debug and sanitizer builds, compiled out of the Release hot path.
 TEST(Simulator, NullCallbackViolatesContract) {
   Simulator sim;
   EXPECT_THROW(sim.schedule_after(1_s, nullptr), ContractViolation);
 }
+#endif
 
 TEST(Simulator, CancelPreventsExecution) {
   Simulator sim;
@@ -96,6 +101,46 @@ TEST(Simulator, CancelAfterFiringReturnsFalse) {
   const EventId id = sim.schedule_after(1_s, [] {});
   sim.run();
   EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, EventIdKeysUnorderedBookkeeping) {
+  // The std::hash<EventId> specialisation in play: a model keeps per-event
+  // state keyed by pending EventId and must drop it when the event fires
+  // or is cancelled.
+  Simulator sim;
+  std::unordered_map<EventId, int> payload;
+  std::vector<int> delivered;
+  for (int i = 0; i < 8; ++i) {
+    const EventId id = sim.schedule_after(SimDuration(i + 1), [&, i] {
+      // Self-lookup: each callback must see exactly its own payload.
+      for (const auto& [eid, value] : payload) {
+        if (value == i) delivered.push_back(value);
+      }
+    });
+    payload.emplace(id, i);
+    EXPECT_EQ(payload.count(id), 1u);
+  }
+  sim.run();
+  EXPECT_EQ(delivered.size(), 8u);
+}
+
+TEST(Simulator, CancelAfterFireLeavesBookkeepingConsistent) {
+  // cancel() on an already-fired event returns false; a model using that
+  // return to decide whether to erase its EventId-keyed state must not
+  // leak or double-erase.
+  Simulator sim;
+  std::unordered_map<EventId, std::string> pending;
+  const EventId fires = sim.schedule_after(1_s, [&] { pending.erase(fires); });
+  const EventId cancelled = sim.schedule_after(2_s, [] {});
+  pending.emplace(fires, "fires");
+  pending.emplace(cancelled, "cancelled");
+  EXPECT_TRUE(sim.cancel(cancelled));
+  pending.erase(cancelled);
+  sim.run();
+  EXPECT_FALSE(sim.cancel(fires)) << "already fired";
+  EXPECT_FALSE(sim.cancel(cancelled)) << "already cancelled";
+  EXPECT_TRUE(pending.empty());
+  EXPECT_EQ(sim.pending_events(), 0u);
 }
 
 TEST(Simulator, RunUntilStopsAtDeadlineAndAdvancesClock) {

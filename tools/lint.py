@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""LSDF repo lint: fast, dependency-free checks for the project's own rules.
+
+Run from anywhere: paths are resolved relative to the repository root
+(the parent of this script's directory). Exits non-zero with one line per
+finding, so it can run as a ctest and as a CI gate.
+
+Rules (see DESIGN.md "Correctness tooling"):
+
+  determinism   No rand()/std::random_device/std::chrono::system_clock in
+                model or library code. Simulated behaviour must derive from
+                seeded common/rng.h state (DESIGN.md §5) and timestamps from
+                the sim clock or steady_clock; system_clock would tie
+                results to the wall calendar. Allowlisted: common/rng.h
+                (owns seeding) and obs/trace.cpp (export-only timestamps).
+
+  threads       No raw std::thread outside src/exec. All real parallelism
+                goes through exec::ThreadPool so it is joined, instrumented
+                and lock-order-checked; std::thread::id etc. stay allowed.
+
+  pragma-once   Every header uses #pragma once (the include-guard style the
+                codebase standardises on).
+
+  require-msg   Every LSDF_REQUIRE / LSDF_DCHECK carries a non-empty
+                message: a contract failure must explain itself.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Directories scanned; generated/build trees are never listed here.
+SCAN_DIRS = ["src", "tests", "bench", "examples"]
+SOURCE_SUFFIXES = {".cpp", ".h"}
+
+DETERMINISM_ALLOWLIST = {
+    "src/common/rng.h",  # the one place seeding machinery may live
+    "src/obs/trace.cpp",  # wall-time only decorates exported traces
+}
+
+DETERMINISM_PATTERNS = [
+    (re.compile(r"(?<![\w:])rand\s*\("), "rand()"),
+    (re.compile(r"std::random_device"), "std::random_device"),
+    (re.compile(r"system_clock"), "std::chrono::system_clock"),
+]
+
+# std::thread as a type (construction, vectors of threads). The negative
+# lookahead keeps std::thread::id / std::thread::hardware_concurrency legal.
+THREAD_PATTERN = re.compile(r"std::thread\b(?!::)")
+THREAD_ALLOWED_PREFIXES = ("src/exec/",)
+
+REQUIRE_CALL = re.compile(r"\b(LSDF_REQUIRE|LSDF_DCHECK)\s*\(")
+
+
+def strip_comments(text: str) -> str:
+    """Blank out // and /* */ comments, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == '"' and (i == 0 or text[i - 1] != "\\"):
+            # Skip string literals so a comment-looking "//" inside one
+            # neither hides code nor creates false positives.
+            out.append(c)
+            i += 1
+            while i < n and not (text[i] == '"' and text[i - 1] != "\\"):
+                out.append(text[i] if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append('"')
+                i += 1
+        elif text.startswith("//", i):
+            while i < n and text[i] != "\n":
+                i += 1
+        elif text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            end = n if end == -1 else end + 2
+            out.append(" " * 0)
+            out.extend(ch if ch == "\n" else " " for ch in text[i:end])
+            i = end
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def last_argument(text: str, open_paren: int) -> tuple[str, int] | None:
+    """Return (last top-level argument, closing offset) of a call."""
+    depth = 0
+    arg_start = open_paren + 1
+    last_start = arg_start
+    i = open_paren
+    while i < len(text):
+        c = text[i]
+        if c == '"':
+            i += 1
+            while i < len(text) and not (text[i] == '"' and text[i - 1] != "\\"):
+                i += 1
+        elif c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+            if depth == 0:
+                return text[last_start:i].strip(), i
+        elif c == "," and depth == 1:
+            last_start = i + 1
+        i += 1
+    return None
+
+
+def check_file(rel: str, raw: str, findings: list[str]) -> None:
+    code = strip_comments(raw)
+
+    if rel not in DETERMINISM_ALLOWLIST:
+        for pattern, label in DETERMINISM_PATTERNS:
+            for match in pattern.finditer(code):
+                findings.append(
+                    f"{rel}:{line_of(code, match.start())}: [determinism] "
+                    f"{label} is banned outside the allowlist — derive "
+                    f"behaviour from common/rng.h seeds or steady_clock"
+                )
+
+    if not rel.startswith(THREAD_ALLOWED_PREFIXES):
+        for match in THREAD_PATTERN.finditer(code):
+            findings.append(
+                f"{rel}:{line_of(code, match.start())}: [threads] raw "
+                f"std::thread outside src/exec — use exec::ThreadPool"
+            )
+
+    if rel.endswith(".h") and "#pragma once" not in raw:
+        findings.append(f"{rel}:1: [pragma-once] header lacks #pragma once")
+
+    for match in REQUIRE_CALL.finditer(code):
+        macro = match.group(1)
+        parsed = last_argument(code, match.end() - 1)
+        if parsed is None:
+            findings.append(
+                f"{rel}:{line_of(code, match.start())}: [require-msg] "
+                f"unbalanced {macro} call"
+            )
+            continue
+        message, _ = parsed
+        if message in ("", '""'):
+            findings.append(
+                f"{rel}:{line_of(code, match.start())}: [require-msg] "
+                f"{macro} needs a non-empty message"
+            )
+
+
+def main() -> int:
+    findings: list[str] = []
+    scanned = 0
+    for directory in SCAN_DIRS:
+        root = REPO / directory
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
+                continue
+            rel = path.relative_to(REPO).as_posix()
+            check_file(rel, path.read_text(encoding="utf-8"), findings)
+            scanned += 1
+    for finding in findings:
+        print(finding)
+    print(
+        f"lint: {scanned} files scanned, {len(findings)} finding(s)",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
