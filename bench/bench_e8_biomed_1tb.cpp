@@ -10,8 +10,10 @@
 // attainable on commodity cores.
 #include <chrono>
 #include <optional>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/stats.h"
 #include "core/facility.h"
 #include "exec/thread_pool.h"
 #include "mapreduce/local_runner.h"
@@ -68,6 +70,74 @@ int main() {
     bench::row("%-28s %.0f%% node-local", "locality",
                job->locality_fraction() * 100.0);
     bench::compare("1 TB visualisation wall time", 20.0, minutes, "min");
+  }
+
+  bench::section("interactive viewing: DFS block cache, warm vs cold");
+  {
+    // After the batch render, the viewer pages through the hot slices of
+    // the volume over and over. With the lsdf::cache block cache sized,
+    // repeat fetches skip the replica pick, network leg and datanode disk.
+    core::FacilityConfig config = core::small_facility_config();
+    config.dfs.block_cache.name = "dfs-block";
+    config.dfs.block_cache.capacity = 8_GB;
+    config.dfs.block_cache.policy = cache::Policy::kS3Fifo;
+    core::Facility facility(config);
+    std::optional<storage::IoResult> loaded;
+    facility.adal().write(facility.service_credentials(),
+                          "lsdf://hdfs/biomed/hot-slices", 3_GB,
+                          [&](const storage::IoResult& r) { loaded = r; });
+    facility.simulator().run_while_pending(
+        [&] { return loaded.has_value(); });
+    if (!loaded->status.is_ok()) return 1;
+
+    const auto info = facility.dfs().stat("biomed/hot-slices");
+    if (!info.is_ok()) return 1;
+    const std::vector<dfs::BlockId> blocks = info.value().blocks;
+    auto& cache = facility.dfs().block_cache()->cache();
+    RunningStats cold;
+    RunningStats warm;
+    std::int64_t warm_hits_base = 0;
+    std::int64_t warm_misses_base = 0;
+    for (int pass = 0; pass < 3; ++pass) {
+      if (pass == 1) {
+        warm_hits_base = cache.stats().hits;
+        warm_misses_base = cache.stats().misses;
+      }
+      RunningStats& stats = pass == 0 ? cold : warm;
+      for (const dfs::BlockId id : blocks) {
+        std::optional<dfs::DfsIoResult> read;
+        facility.dfs().read_block(id, facility.headnode(),
+                                  [&](const dfs::DfsIoResult& r) {
+                                    read = r;
+                                  });
+        facility.simulator().run_while_pending(
+            [&] { return read.has_value(); });
+        if (!read->status.is_ok()) return 1;
+        stats.add(read->duration().seconds());
+      }
+    }
+    const auto hits = cache.stats().hits - warm_hits_base;
+    const auto misses = cache.stats().misses - warm_misses_base;
+    const double hit_rate =
+        hits + misses == 0
+            ? 0.0
+            : static_cast<double>(hits) / static_cast<double>(hits + misses);
+    const double speedup =
+        warm.mean() > 0.0 ? cold.mean() / warm.mean() : 0.0;
+    bench::row("%zu blocks of %s, 1 cold + 2 warm passes from the headnode",
+               blocks.size(), format_bytes(config.dfs.block_size).c_str());
+    bench::row("%-28s %.1f ms", "cold mean block read",
+               cold.mean() * 1e3);
+    bench::row("%-28s %.1f ms (hit rate %.0f%%)", "warm mean block read",
+               warm.mean() * 1e3, 100.0 * hit_rate);
+    bench::compare("warm vs cold block read", 5.0, speedup, "x");
+    bench::write_json_section(
+        "BENCH_cache.json", "e8_dfs_block_cache",
+        {{"cold_mean_read_ms", cold.mean() * 1e3},
+         {"warm_mean_read_ms", warm.mean() * 1e3},
+         {"speedup", speedup},
+         {"warm_hit_rate", hit_rate},
+         {"blocks", static_cast<double>(blocks.size())}});
   }
 
   bench::section("DNA k-mer counting, real execution (calibration)");

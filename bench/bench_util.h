@@ -7,7 +7,10 @@
 #include <cstdarg>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -42,6 +45,83 @@ inline void compare(const std::string& metric, double paper,
   std::printf("[paper-vs-measured] %-34s paper=%-10.4g measured=%-10.4g %s"
               "  (x%.2f)\n",
               metric.c_str(), paper, measured, unit.c_str(), ratio);
+}
+
+// --- Machine-readable reports (BENCH_*.json) ---------------------------------
+//
+// A report file is one flat JSON object of named sections, each a flat
+// object of numeric metrics:
+//   { "a2_hsm_read_cache": { "cold_mean_read_s": 41.2, ... }, ... }
+// write_json_section() replaces (or appends) exactly one section and
+// preserves every other byte-for-byte, so several bench binaries can share
+// one report file (bench_a2 and bench_e8 both feed BENCH_cache.json).
+
+inline void write_json_section(
+    const std::string& path, const std::string& section_name,
+    const std::vector<std::pair<std::string, double>>& values) {
+  // Parse the existing file just enough to split it into (name, body) at
+  // the top level: sections never nest further than one object deep.
+  std::vector<std::pair<std::string, std::string>> sections;
+  {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    std::size_t at = 0;
+    auto skip_ws = [&] {
+      while (at < text.size() &&
+             (text[at] == ' ' || text[at] == '\n' || text[at] == '\t' ||
+              text[at] == '\r' || text[at] == ',' || text[at] == '{' ||
+              text[at] == '}')) {
+        ++at;
+      }
+    };
+    while (true) {
+      skip_ws();
+      if (at >= text.size() || text[at] != '"') break;
+      const std::size_t name_end = text.find('"', at + 1);
+      if (name_end == std::string::npos) break;
+      const std::string name = text.substr(at + 1, name_end - at - 1);
+      const std::size_t open = text.find('{', name_end);
+      if (open == std::string::npos) break;
+      std::size_t close = open;
+      int depth = 0;
+      do {
+        if (text[close] == '{') ++depth;
+        if (text[close] == '}') --depth;
+        ++close;
+      } while (depth > 0 && close < text.size());
+      sections.emplace_back(name, text.substr(open, close - open));
+      at = close;
+    }
+  }
+  std::string body = "{";
+  const char* separator = "\n    ";
+  for (const auto& [key, value] : values) {
+    char rendered[64];
+    std::snprintf(rendered, sizeof rendered, "%.10g", value);
+    body += separator;
+    body += "\"" + key + "\": " + rendered;
+    separator = ",\n    ";
+  }
+  body += "\n  }";
+  bool replaced = false;
+  for (auto& [name, existing] : sections) {
+    if (name == section_name) {
+      existing = body;
+      replaced = true;
+    }
+  }
+  if (!replaced) sections.emplace_back(section_name, body);
+
+  std::ofstream out(path);
+  out << "{\n";
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    out << "  \"" << sections[i].first << "\": " << sections[i].second
+        << (i + 1 < sections.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
+  row("report: wrote section `%s` to %s", section_name.c_str(), path.c_str());
 }
 
 // --- Observability hooks (lsdf::obs) -----------------------------------------

@@ -1,15 +1,15 @@
-// ADAL — the Abstract Data Access Layer (paper slides 9/10): the unified,
-// extensible low-level interface to every LSDF storage technology.
-//
-//  * URIs: `lsdf://<backend>/<path>` addresses one backend directly;
-//    `lsdf://data/<path>` addresses the *logical* namespace, which ADAL
-//    routes through its location table. Migrating an object to another
-//    backend updates the table, so logical URIs stay valid across storage
-//    technology changes — the "transparent access over background storage
-//    and technology changes" requirement, measured by experiment E4.
-//  * Backends are pluggable (disk pool, HSM/tape, DFS, in-memory); new
-//    technologies register at runtime.
-//  * Authentication is token-based with per-backend read/write grants.
+//! ADAL — the Abstract Data Access Layer (paper slides 9/10): the unified,
+//! extensible low-level interface to every LSDF storage technology.
+//!
+//!  * URIs: `lsdf://<backend>/<path>` addresses one backend directly;
+//!    `lsdf://data/<path>` addresses the *logical* namespace, which ADAL
+//!    routes through its location table. Migrating an object to another
+//!    backend updates the table, so logical URIs stay valid across storage
+//!    technology changes — the "transparent access over background storage
+//!    and technology changes" requirement, measured by experiment E4.
+//!  * Backends are pluggable (disk pool, HSM/tape, DFS, in-memory); new
+//!    technologies register at runtime.
+//!  * Authentication is token-based with per-backend read/write grants.
 #pragma once
 
 #include <cstdint>

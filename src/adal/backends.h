@@ -1,7 +1,7 @@
-// Concrete ADAL backends adapting each storage technology to the Backend
-// interface: the online disk pool, the HSM/tape archive, the Hadoop DFS and
-// an in-memory object store (the roadmap's "Object Storage", also used by
-// tests for instantaneous I/O).
+//! Concrete ADAL backends adapting each storage technology to the Backend
+//! interface: the online disk pool, the HSM/tape archive, the Hadoop DFS and
+//! an in-memory object store (the roadmap's "Object Storage", also used by
+//! tests for instantaneous I/O).
 #pragma once
 
 #include <map>

@@ -1,0 +1,101 @@
+#include "cache/cached_store.h"
+
+#include <utility>
+
+#include "common/require.h"
+#include "obs/trace.h"
+
+namespace lsdf::cache {
+
+CachedStore::CachedStore(sim::Simulator& simulator, CacheConfig config,
+                         BackingRead backing_read, BackingWrite backing_write)
+    : simulator_(simulator),
+      cache_(simulator, config),
+      channel_(simulator, config.bandwidth, config.per_read_cap),
+      backing_read_(std::move(backing_read)),
+      backing_write_(std::move(backing_write)),
+      served_bytes_metric_(obs::MetricsRegistry::global().counter(
+          "lsdf_cache_served_bytes_total", {{"cache", cache_.name()}})),
+      hit_latency_metric_(obs::MetricsRegistry::global().histogram(
+          "lsdf_cache_hit_latency_seconds",
+          obs::Histogram::exponential_bounds(1e-4, 2.0, 16),
+          {{"cache", cache_.name()}})) {}
+
+void CachedStore::serve_hit(const std::string& key, Bytes size,
+                            storage::IoCallback done) {
+  const SimTime started = simulator_.now();
+  simulator_.schedule_after(cache_.config().hit_latency, [this, key, size,
+                                                          started,
+                                                          done = std::move(
+                                                              done)]() mutable {
+    channel_.submit(size, [this, key, size, started,
+                           done = std::move(done)]() {
+      const SimTime finished = simulator_.now();
+      bytes_served_ += size;
+      served_bytes_metric_.add(size.count());
+      hit_latency_metric_.observe((finished - started).seconds());
+      auto& tracer = obs::Tracer::global();
+      if (tracer.enabled() && tracer.sim_clocked()) {
+        tracer.emit_complete(
+            "cache.hit", "cache", started.nanos() / 1000,
+            (finished - started).nanos() / 1000,
+            {{"cache", cache_.name()},
+             {"key", key},
+             {"bytes", std::to_string(size.count())}});
+      }
+      if (done) {
+        done(storage::IoResult{
+            .status = Status::ok(), .started = started, .finished = finished,
+            .size = size});
+      }
+    });
+  });
+}
+
+void CachedStore::read(const std::string& key, storage::IoCallback done) {
+  read_with(key, backing_read_, std::move(done));
+}
+
+void CachedStore::read_with(const std::string& key, BackingRead backing,
+                            storage::IoCallback done) {
+  LSDF_REQUIRE(backing != nullptr, "CachedStore read needs a backing read");
+  if (cache_.enabled() && cache_.lookup(key)) {
+    const Result<Bytes> size = cache_.size_of(key);
+    LSDF_DCHECK(size.is_ok(), "cache hit must have a sized entry");
+    serve_hit(key, size.value(), std::move(done));
+    return;
+  }
+  const SimTime started = simulator_.now();
+  backing(key, [this, key, started,
+                done = std::move(done)](const storage::IoResult& result) {
+    if (result.status.is_ok()) cache_.admit(key, result.size);
+    auto& tracer = obs::Tracer::global();
+    if (tracer.enabled() && tracer.sim_clocked()) {
+      tracer.emit_complete(
+          "cache.miss", "cache", started.nanos() / 1000,
+          (simulator_.now() - started).nanos() / 1000,
+          {{"cache", cache_.name()},
+           {"key", key},
+           {"bytes", std::to_string(result.size.count())}});
+    }
+    if (done) done(result);
+  });
+}
+
+void CachedStore::write(const std::string& key, Bytes size,
+                        storage::IoCallback done) {
+  LSDF_REQUIRE(backing_write_ != nullptr,
+               "CachedStore write needs a backing write");
+  backing_write_(key, size, [this, key,
+                             done = std::move(done)](
+                                const storage::IoResult& result) {
+    if (result.status.is_ok()) {
+      cache_.admit(key, result.size);
+    } else {
+      cache_.erase(key);
+    }
+    if (done) done(result);
+  });
+}
+
+}  // namespace lsdf::cache

@@ -1,0 +1,68 @@
+//! CachedStore: a read-through / write-through timing wrapper around a
+//! BlockCache and an arbitrary backing store. Hits are serviced through the
+//! simulator — a fixed lookup latency followed by a fair-shared channel,
+//! exactly the DiskArray service idiom — so every cache decision turns into
+//! ordinary kernel events and same-seed runs keep bit-identical
+//! Simulator::fingerprint() values. Misses fall through to the backing read
+//! and admit the object on success. Served bytes are attributed to exactly
+//! one tier: a hit never touches the backing store's byte counters, a miss
+//! never touches the cache's (lsdf_cache_served_bytes_total).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "cache/cache.h"
+#include "common/units.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+#include "storage/disk_array.h"
+#include "storage/io_channel.h"
+
+namespace lsdf::cache {
+
+class CachedStore {
+ public:
+  // Backing reads/writes complete with the usual storage IoResult; the key
+  // identifies the object so per-call closures can route it (HSM tiers, a
+  // DFS replica choice made at call time).
+  using BackingRead =
+      std::function<void(const std::string& key, storage::IoCallback done)>;
+  using BackingWrite = std::function<void(
+      const std::string& key, Bytes size, storage::IoCallback done)>;
+
+  CachedStore(sim::Simulator& simulator, CacheConfig config,
+              BackingRead backing_read, BackingWrite backing_write = nullptr);
+
+  // Read `key`: cache hit served through the hit channel, miss forwarded to
+  // the default backing read (which must exist) and admitted on success.
+  void read(const std::string& key, storage::IoCallback done);
+  // Same, but with a per-call backing read — for stores where the miss path
+  // needs call-site context (e.g. which DFS node is reading).
+  void read_with(const std::string& key, BackingRead backing,
+                 storage::IoCallback done);
+
+  // Write-through: forward to the backing write; admit on success so the
+  // next read hits, erase on failure so no phantom entry survives.
+  void write(const std::string& key, Bytes size, storage::IoCallback done);
+
+  [[nodiscard]] BlockCache& cache() { return cache_; }
+  [[nodiscard]] const BlockCache& cache() const { return cache_; }
+  [[nodiscard]] Bytes bytes_served() const { return bytes_served_; }
+
+ private:
+  void serve_hit(const std::string& key, Bytes size, storage::IoCallback done);
+
+  sim::Simulator& simulator_;
+  BlockCache cache_;
+  storage::FairChannel channel_;
+  BackingRead backing_read_;
+  BackingWrite backing_write_;
+  Bytes bytes_served_;
+
+  obs::Counter& served_bytes_metric_;
+  obs::Histogram& hit_latency_metric_;
+};
+
+}  // namespace lsdf::cache

@@ -1,0 +1,90 @@
+//! LookupCache: a small header-only LRU map for memoised computed lookups —
+//! the DataBrowser's metadata query cache. Count-bounded (results are tiny
+//! relative to data blocks), deterministic (ordered containers only), and
+//! purely in-process: it models no I/O time, so it never touches the event
+//! kernel. Invalidation is the owner's job — the DataBrowser clears it
+//! whenever the MetadataStore's mutation version moves.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/require.h"
+#include "obs/metrics.h"
+
+namespace lsdf::cache {
+
+template <typename Value>
+class LookupCache {
+ public:
+  explicit LookupCache(std::size_t capacity, std::string name = "lookup")
+      : capacity_(capacity),
+        name_(std::move(name)),
+        hits_metric_(obs::MetricsRegistry::global().counter(
+            "lsdf_cache_hits_total", {{"cache", name_}})),
+        misses_metric_(obs::MetricsRegistry::global().counter(
+            "lsdf_cache_misses_total", {{"cache", name_}})) {
+    LSDF_REQUIRE(capacity > 0, "lookup cache capacity must be positive");
+  }
+
+  // Pointer into the cache (valid until the next mutation), or nullptr on
+  // miss. A hit refreshes recency.
+  [[nodiscard]] const Value* find(const std::string& key) {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      ++misses_;
+      misses_metric_.add();
+      return nullptr;
+    }
+    order_.splice(order_.end(), order_, it->second.pos);
+    ++hits_;
+    hits_metric_.add();
+    return &it->second.value;
+  }
+
+  void put(const std::string& key, Value value) {
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.value = std::move(value);
+      order_.splice(order_.end(), order_, it->second.pos);
+      return;
+    }
+    while (entries_.size() >= capacity_) {
+      entries_.erase(order_.front());
+      order_.pop_front();
+    }
+    order_.push_back(key);
+    entries_.emplace(key,
+                     Entry{std::move(value), std::prev(order_.end())});
+  }
+
+  void clear() {
+    entries_.clear();
+    order_.clear();
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::int64_t hits() const { return hits_; }
+  [[nodiscard]] std::int64_t misses() const { return misses_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  struct Entry {
+    Value value;
+    std::list<std::string>::iterator pos;
+  };
+
+  std::size_t capacity_;
+  std::string name_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> order_;  // LRU at front
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+  obs::Counter& hits_metric_;
+  obs::Counter& misses_metric_;
+};
+
+}  // namespace lsdf::cache

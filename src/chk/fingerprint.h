@@ -1,12 +1,12 @@
-// Order-sensitive execution fingerprint (FNV-1a over folded 64-bit words).
-//
-// The sim kernel folds (event id, timestamp, seq) of every dispatched event
-// into one of these; two runs of the same scenario produce equal
-// fingerprints iff they executed the identical event sequence. Because the
-// hash is order-sensitive, any nondeterminism — unordered-container
-// iteration deciding scheduling order, a stray wall-clock read feeding a
-// delay — shows up as a digest mismatch, which chk::replay_check turns
-// into a test failure (DESIGN.md §4e).
+//! Order-sensitive execution fingerprint (FNV-1a over folded 64-bit words).
+//!
+//! The sim kernel folds (event id, timestamp, seq) of every dispatched event
+//! into one of these; two runs of the same scenario produce equal
+//! fingerprints iff they executed the identical event sequence. Because the
+//! hash is order-sensitive, any nondeterminism — unordered-container
+//! iteration deciding scheduling order, a stray wall-clock read feeding a
+//! delay — shows up as a digest mismatch, which chk::replay_check turns
+//! into a test failure (DESIGN.md §4e).
 #pragma once
 
 #include <cstdint>

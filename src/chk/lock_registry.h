@@ -1,30 +1,30 @@
-// Runtime lock-order analysis: a drop-in std::mutex wrapper that records
-// per-thread acquisition stacks, builds the global lock-order graph and
-// reports cycles (potential ABBA deadlocks) and long-hold outliers.
-//
-// Locks are grouped by *name* (one graph node per name, however many
-// instances share it — e.g. every ThreadPool worker queue is one node), so
-// the graph stays small and an inversion between two lock *classes* is
-// caught no matter which instances exhibit it. Every acquisition:
-//
-//   * adds an edge held-lock -> new-lock for each lock the thread already
-//     holds (first observation records the acquiring file:line);
-//   * runs incremental cycle detection when the edge is new — a cycle is a
-//     potential deadlock and lands in cycles() plus the
-//     lsdf_chk_lock_cycles_total counter;
-//   * times the hold and feeds lsdf_chk_lock_hold_seconds; holds longer
-//     than the configurable threshold count as long-hold outliers.
-//
-// The wrapper satisfies Lockable, so std::lock_guard/std::scoped_lock work,
-// but adopted code uses chk::LockGuard / chk::UniqueLock: they capture the
-// acquisition site via std::source_location and carry the Clang
-// thread-safety annotations (thread_annotations.h) that libstdc++'s guards
-// lack, keeping -Wthread-safety effective.
-//
-// Reentrancy: the registry's own bookkeeping may touch the metrics
-// registry, whose mutex is itself tracked; a thread-local guard makes any
-// nested tracking a no-op, so instrumentation can never recurse or
-// self-deadlock.
+//! Runtime lock-order analysis: a drop-in std::mutex wrapper that records
+//! per-thread acquisition stacks, builds the global lock-order graph and
+//! reports cycles (potential ABBA deadlocks) and long-hold outliers.
+//!
+//! Locks are grouped by *name* (one graph node per name, however many
+//! instances share it — e.g. every ThreadPool worker queue is one node), so
+//! the graph stays small and an inversion between two lock *classes* is
+//! caught no matter which instances exhibit it. Every acquisition:
+//!
+//!   * adds an edge held-lock -> new-lock for each lock the thread already
+//!     holds (first observation records the acquiring file:line);
+//!   * runs incremental cycle detection when the edge is new — a cycle is a
+//!     potential deadlock and lands in cycles() plus the
+//!     lsdf_chk_lock_cycles_total counter;
+//!   * times the hold and feeds lsdf_chk_lock_hold_seconds; holds longer
+//!     than the configurable threshold count as long-hold outliers.
+//!
+//! The wrapper satisfies Lockable, so std::lock_guard/std::scoped_lock work,
+//! but adopted code uses chk::LockGuard / chk::UniqueLock: they capture the
+//! acquisition site via std::source_location and carry the Clang
+//! thread-safety annotations (thread_annotations.h) that libstdc++'s guards
+//! lack, keeping -Wthread-safety effective.
+//!
+//! Reentrancy: the registry's own bookkeeping may touch the metrics
+//! registry, whose mutex is itself tracked; a thread-local guard makes any
+//! nested tracking a no-op, so instrumentation can never recurse or
+//! self-deadlock.
 #pragma once
 
 #include <array>

@@ -1,14 +1,14 @@
-// Same-seed replay harness: run a scenario twice and fail on divergence.
-//
-// DESIGN.md §5 makes determinism a hard requirement of the sim kernel;
-// this is the tool that *checks* it. A scenario is a closure that builds a
-// fresh simulated world from a seed, runs it, and returns the kernel's
-// execution fingerprint (Simulator::fingerprint() — an order-sensitive
-// digest of every dispatched event). replay_check invokes it twice with
-// the same seed; unequal fingerprints mean the model consulted something
-// outside the seeded state — unordered-container iteration order, a
-// wall-clock read, leftover global state — and the harness reports
-// exactly that. Wired into bench_e5/bench_a5 and sim_determinism_test.
+//! Same-seed replay harness: run a scenario twice and fail on divergence.
+//!
+//! DESIGN.md §5 makes determinism a hard requirement of the sim kernel;
+//! this is the tool that *checks* it. A scenario is a closure that builds a
+//! fresh simulated world from a seed, runs it, and returns the kernel's
+//! execution fingerprint (Simulator::fingerprint() — an order-sensitive
+//! digest of every dispatched event). replay_check invokes it twice with
+//! the same seed; unequal fingerprints mean the model consulted something
+//! outside the seeded state — unordered-container iteration order, a
+//! wall-clock read, leftover global state — and the harness reports
+//! exactly that. Wired into bench_e5/bench_a5 and sim_determinism_test.
 #pragma once
 
 #include <cstdint>

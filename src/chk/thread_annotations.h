@@ -1,11 +1,11 @@
-// Clang thread-safety-analysis attributes behind the LSDF_TS() macro.
-//
-// Under clang with -Wthread-safety these expand to the capability
-// attributes, turning the annotations on chk::TrackedMutex and the
-// GUARDED_BY/REQUIRES markers in exec/obs into a compile-time race
-// detector (CI builds the tree with -Werror=thread-safety). Under GCC —
-// the default local toolchain — every macro expands to nothing, so the
-// annotations cost nothing and cannot break the build.
+//! Clang thread-safety-analysis attributes behind the LSDF_TS() macro.
+//!
+//! Under clang with -Wthread-safety these expand to the capability
+//! attributes, turning the annotations on chk::TrackedMutex and the
+//! GUARDED_BY/REQUIRES markers in exec/obs into a compile-time race
+//! detector (CI builds the tree with -Werror=thread-safety). Under GCC —
+//! the default local toolchain — every macro expands to nothing, so the
+//! annotations cost nothing and cannot break the build.
 #pragma once
 
 #if defined(__clang__)

@@ -1,11 +1,11 @@
-// CloudManager: the OpenNebula-style IaaS layer (paper slide 11) where
-// "users can deploy own dedicated data-processing VMs ... reliable, highly
-// flexible, and very fast to deploy".
-//
-// Hosts expose cores and memory; VM templates describe a flavour plus an
-// image size. Deployment = scheduler placement + image transfer from the
-// image repository node + boot. Experiment E7 measures fleet deployment
-// time against host count and scheduler policy.
+//! CloudManager: the OpenNebula-style IaaS layer (paper slide 11) where
+//! "users can deploy own dedicated data-processing VMs ... reliable, highly
+//! flexible, and very fast to deploy".
+//!
+//! Hosts expose cores and memory; VM templates describe a flavour plus an
+//! image size. Deployment = scheduler placement + image transfer from the
+//! image repository node + boot. Experiment E7 measures fleet deployment
+//! time against host count and scheduler policy.
 #pragma once
 
 #include <cstdint>

@@ -1,8 +1,8 @@
-// Data-integrity checksums used by the ingest pipeline and the DFS.
-//
-// CRC32C (Castagnoli) is the checksum HDFS uses per block; FNV-1a 64 is a
-// cheap fingerprint for metadata values. Both are implemented in portable
-// C++ (table-driven CRC) so the library has no hardware dependencies.
+//! Data-integrity checksums used by the ingest pipeline and the DFS.
+//!
+//! CRC32C (Castagnoli) is the checksum HDFS uses per block; FNV-1a 64 is a
+//! cheap fingerprint for metadata values. Both are implemented in portable
+//! C++ (table-driven CRC) so the library has no hardware dependencies.
 #pragma once
 
 #include <cstddef>

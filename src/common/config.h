@@ -1,5 +1,5 @@
-// Simple `key = value` configuration properties, used to describe facility
-// deployments (storage systems, cluster sizes, link rates) in examples.
+//! Simple `key = value` configuration properties, used to describe facility
+//! deployments (storage systems, cluster sizes, link rates) in examples.
 #pragma once
 
 #include <map>

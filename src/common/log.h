@@ -1,5 +1,5 @@
-// Minimal levelled logging. Experiment binaries keep it quiet by default;
-// tests can raise the level to trace facility behaviour.
+//! Minimal levelled logging. Experiment binaries keep it quiet by default;
+//! tests can raise the level to trace facility behaviour.
 #pragma once
 
 #include <chrono>

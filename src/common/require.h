@@ -1,12 +1,12 @@
-// Contract checks, two tiers:
-//
-//   LSDF_REQUIRE — always on. API-boundary contracts whose violation means
-//     a caller bug; throws ContractViolation (catchable by tests).
-//   LSDF_DCHECK  — debug-only internal invariants on hot paths (the sim
-//     kernel dispatch loop, Resource::pump). Compiled out — condition and
-//     message unevaluated — when NDEBUG is set (Release/RelWithDebInfo);
-//     active in Debug builds and under the sanitizer CI jobs. Override
-//     with -DLSDF_DCHECK_ENABLED=0/1.
+//! Contract checks, two tiers:
+//!
+//!   LSDF_REQUIRE — always on. API-boundary contracts whose violation means
+//!     a caller bug; throws ContractViolation (catchable by tests).
+//!   LSDF_DCHECK  — debug-only internal invariants on hot paths (the sim
+//!     kernel dispatch loop, Resource::pump). Compiled out — condition and
+//!     message unevaluated — when NDEBUG is set (Release/RelWithDebInfo);
+//!     active in Debug builds and under the sanitizer CI jobs. Override
+//!     with -DLSDF_DCHECK_ENABLED=0/1.
 #pragma once
 
 #include <stdexcept>

@@ -1,8 +1,8 @@
-// Deterministic random number generation.
-//
-// All stochastic behaviour in the facility simulation flows from explicit
-// Rng instances seeded by the experiment harness, so every run is
-// bit-reproducible. The generator is xoshiro256++ seeded via SplitMix64.
+//! Deterministic random number generation.
+//!
+//! All stochastic behaviour in the facility simulation flows from explicit
+//! Rng instances seeded by the experiment harness, so every run is
+//! bit-reproducible. The generator is xoshiro256++ seeded via SplitMix64.
 #pragma once
 
 #include <array>

@@ -1,5 +1,5 @@
-// Streaming statistics, histograms and time series used by the experiment
-// harnesses to report the paper's operational figures.
+//! Streaming statistics, histograms and time series used by the experiment
+//! harnesses to report the paper's operational figures.
 #pragma once
 
 #include <algorithm>

@@ -1,9 +1,9 @@
-// Status / Result: error propagation for expected failures.
-//
-// Expected failures (file not found, quota exceeded, permission denied,
-// backend offline) travel as values; exceptions are reserved for contract
-// violations (see require.h). This mirrors how a storage facility actually
-// fails: most errors are routine and must be handled, not unwound.
+//! Status / Result: error propagation for expected failures.
+//!
+//! Expected failures (file not found, quota exceeded, permission denied,
+//! backend offline) travel as values; exceptions are reserved for contract
+//! violations (see require.h). This mirrors how a storage facility actually
+//! fails: most errors are routine and must be handled, not unwound.
 #pragma once
 
 #include <optional>

@@ -1,10 +1,10 @@
-// Strong quantity types used across the LSDF library.
-//
-// The paper's figures mix decimal storage units (a 4 MB image, 2 TB/day,
-// 1 PB archives) with link rates in bits per second (10 GE). To keep that
-// arithmetic honest we follow Core Guidelines P.1/P.4 and never pass bare
-// doubles around: byte counts, rates and simulated time are distinct types
-// with explicit conversions.
+//! Strong quantity types used across the LSDF library.
+//!
+//! The paper's figures mix decimal storage units (a 4 MB image, 2 TB/day,
+//! 1 PB archives) with link rates in bits per second (10 GE). To keep that
+//! arithmetic honest we follow Core Guidelines P.1/P.4 and never pass bare
+//! doubles around: byte counts, rates and simulated time are distinct types
+//! with explicit conversions.
 #pragma once
 
 #include <chrono>

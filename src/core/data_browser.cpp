@@ -10,7 +10,20 @@ std::vector<meta::DatasetId> DataBrowser::list(const std::string& project,
                                                std::size_t limit) const {
   meta::Query query;
   query.in_project(project).limit(limit);
-  return store_.query(query);
+  return search(query);
+}
+
+std::vector<meta::DatasetId> DataBrowser::search(
+    const meta::Query& query) const {
+  if (store_.version() != cached_version_) {
+    query_cache_.clear();
+    cached_version_ = store_.version();
+  }
+  const std::string key = meta::cache_key(query);
+  if (const auto* cached = query_cache_.find(key)) return *cached;
+  std::vector<meta::DatasetId> results = store_.query(query);
+  query_cache_.put(key, results);
+  return results;
 }
 
 Result<std::string> DataBrowser::describe(meta::DatasetId id) const {
@@ -50,7 +63,7 @@ std::vector<std::pair<std::string, std::size_t>> DataBrowser::facet(
   std::map<std::string, std::size_t> counts;
   meta::Query query;
   query.in_project(project);
-  for (const meta::DatasetId id : store_.query(query)) {
+  for (const meta::DatasetId id : search(query)) {
     const auto record = store_.get(id);
     if (!record.is_ok()) continue;
     const auto value = record.value().basic.find(attribute);
@@ -72,7 +85,7 @@ RunningStats DataBrowser::numeric_summary(
   RunningStats stats;
   meta::Query query;
   query.in_project(project);
-  for (const meta::DatasetId id : store_.query(query)) {
+  for (const meta::DatasetId id : search(query)) {
     const auto record = store_.get(id);
     if (!record.is_ok()) continue;
     const auto value = record.value().basic.find(attribute);

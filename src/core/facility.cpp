@@ -159,6 +159,7 @@ Result<FacilityConfig> facility_config_from_properties(
       "tape.drives",          "tape.cartridges",
       "tape.cartridge_tb",    "hsm.migrate_after_min",
       "hsm.high_watermark",   "hsm.low_watermark",
+      "hsm.read_cache_gb",    "dfs.block_cache_gb",
       "dfs.block_mb",         "dfs.replication",
       "dfs.datanode_gb",      "tracker.map_slots",
       "tracker.reduce_slots", "tracker.fair_share",
@@ -225,6 +226,12 @@ Result<FacilityConfig> facility_config_from_properties(
     if (depth < 0) return invalid_argument("ingest.max_queue must be >= 0");
     config.ingest.max_queue_depth = static_cast<std::size_t>(depth);
   }
+
+  // Read caches (lsdf::cache); both default to disabled (zero capacity).
+  LSDF_RETURN_IF_ERROR(
+      read_bytes("hsm.read_cache_gb", config.hsm.read_cache.capacity, kGB));
+  LSDF_RETURN_IF_ERROR(read_bytes("dfs.block_cache_gb",
+                                  config.dfs.block_cache.capacity, kGB));
 
   if (properties.contains("hsm.migrate_after_min")) {
     LSDF_ASSIGN_OR_RETURN(const std::int64_t minutes,

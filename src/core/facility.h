@@ -1,18 +1,18 @@
-// Facility: the fully assembled Large Scale Data Facility, wired exactly
-// like paper slide 7:
-//
-//   experiments/DAQ --10GE--> [ LSDF backbone (core) ] <--10GE/WAN--> Heidelberg
-//        |                         |          |          |
-//     ingest headnode        DDN 0.5 PB   IBM 1.4 PB   tape library (HSM)
-//                                  |
-//                  60-node Hadoop/cloud cluster, 110 TB HDFS
-//
-// plus the software stack of slides 8-12: metadata DB + rule engine, ADAL
-// with pool/archive/hdfs/object backends, MapReduce job tracker, OpenNebula-
-// style cloud, workflow engine with tag triggers, and the ingest pipeline.
-//
-// Every experiment binary and example builds one of these (usually scaled
-// down via FacilityConfig) instead of hand-wiring subsystems.
+//! Facility: the fully assembled Large Scale Data Facility, wired exactly
+//! like paper slide 7:
+//!
+//!   experiments/DAQ --10GE--> [ LSDF backbone (core) ] <--10GE/WAN--> Heidelberg
+//!        |                         |          |          |
+//!     ingest headnode        DDN 0.5 PB   IBM 1.4 PB   tape library (HSM)
+//!                                  |
+//!                  60-node Hadoop/cloud cluster, 110 TB HDFS
+//!
+//! plus the software stack of slides 8-12: metadata DB + rule engine, ADAL
+//! with pool/archive/hdfs/object backends, MapReduce job tracker, OpenNebula-
+//! style cloud, workflow engine with tag triggers, and the ingest pipeline.
+//!
+//! Every experiment binary and example builds one of these (usually scaled
+//! down via FacilityConfig) instead of hand-wiring subsystems.
 #pragma once
 
 #include <memory>
@@ -192,6 +192,7 @@ class Facility {
 //       (roundrobin | mostfree | firstfit)
 //   archive.cache_tb, tape.drives, tape.cartridges, tape.cartridge_tb
 //   hsm.migrate_after_min, hsm.high_watermark, hsm.low_watermark
+//   hsm.read_cache_gb, dfs.block_cache_gb
 //   dfs.block_mb, dfs.replication, dfs.datanode_gb
 //   tracker.map_slots, tracker.reduce_slots, tracker.fair_share (bool)
 //   cloud.host_cores, cloud.host_memory_gb

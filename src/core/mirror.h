@@ -1,9 +1,9 @@
-// MirrorService: cross-site replication to the partner university (paper
-// slides 6/7: "tight cooperation with BioQuant of Univ. Heidelberg", with
-// a dedicated WAN link in the facility fabric). Tagging a dataset with the
-// trigger tag queues a WAN copy; transfers run a bounded number at a time,
-// retry with backoff across WAN outages, and stamp the done tag when the
-// remote copy is complete.
+//! MirrorService: cross-site replication to the partner university (paper
+//! slides 6/7: "tight cooperation with BioQuant of Univ. Heidelberg", with
+//! a dedicated WAN link in the facility fabric). Tagging a dataset with the
+//! trigger tag queues a WAN copy; transfers run a bounded number at a time,
+//! retry with backoff across WAN outages, and stamp the done tag when the
+//! remote copy is complete.
 #pragma once
 
 #include <cstdint>

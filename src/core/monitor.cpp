@@ -31,6 +31,14 @@ void FacilityMonitor::sample() {
                        registry.gauge_value("lsdf_ingest_queue_depth"));
   dfs_used_.record(now, registry.gauge_value("lsdf_dfs_used_bytes"));
   vms_.record(now, registry.gauge_value("lsdf_cloud_running_vms"));
+  // Summed across caches (hsm-read, dfs-block, ...). cache_served counts
+  // only bytes a cache delivered itself; bytes a miss pulled through the
+  // backing store stay in that tier's own counters (lsdf_disk_bytes_total
+  // etc.), so the tiers partition the served total.
+  cache_used_.record(now, registry.gauge_total("lsdf_cache_used_bytes"));
+  cache_served_.record(
+      now, static_cast<double>(
+               registry.counter_total("lsdf_cache_served_bytes_total")));
 }
 
 std::string FacilityMonitor::status_report() const {
@@ -60,6 +68,23 @@ std::string FacilityMonitor::status_report() const {
   out << "ingest:         " << facility_.ingest().stats().completed
       << " completed, " << facility_.ingest().in_flight() << " in flight, "
       << facility_.ingest().queue_depth() << " queued\n";
+  const auto& registry = obs::MetricsRegistry::global();
+  const std::int64_t cache_hits =
+      registry.counter_total("lsdf_cache_hits_total");
+  const std::int64_t cache_misses =
+      registry.counter_total("lsdf_cache_misses_total");
+  if (cache_hits + cache_misses > 0) {
+    out << "read caches:    "
+        << format_bytes(Bytes(static_cast<std::int64_t>(
+               registry.gauge_total("lsdf_cache_used_bytes"))))
+        << " resident, "
+        << format_bytes(Bytes(
+               registry.counter_total("lsdf_cache_served_bytes_total")))
+        << " served, hit rate "
+        << static_cast<int>(100.0 * static_cast<double>(cache_hits) /
+                            static_cast<double>(cache_hits + cache_misses))
+        << "%\n";
+  }
   out << "cloud:          " << facility_.cloud().running_vms()
       << " VMs running on " << facility_.cloud().host_count() << " hosts\n";
   out << "workflows:      " << facility_.workflows().runs_completed()
@@ -83,6 +108,8 @@ std::string FacilityMonitor::to_csv() const {
   dump("ingest_queue_depth", ingest_queue_);
   dump("dfs_used_bytes", dfs_used_);
   dump("running_vms", vms_);
+  dump("cache_used_bytes", cache_used_);
+  dump("cache_served_bytes", cache_served_);
   return out.str();
 }
 

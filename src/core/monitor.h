@@ -1,7 +1,7 @@
-// FacilityMonitor: periodic sampling of facility-wide health metrics into
-// time series, plus human-readable status reports — the operations view a
-// real facility runs on ("infrastructure and storage services up and
-// running", slide 15). Benches use it to print figure-style series.
+//! FacilityMonitor: periodic sampling of facility-wide health metrics into
+//! time series, plus human-readable status reports — the operations view a
+//! real facility runs on ("infrastructure and storage services up and
+//! running", slide 15). Benches use it to print figure-style series.
 #pragma once
 
 #include <string>
@@ -33,6 +33,16 @@ class FacilityMonitor {
   }
   [[nodiscard]] const TimeSeries& dfs_used_bytes() const { return dfs_used_; }
   [[nodiscard]] const TimeSeries& running_vms() const { return vms_; }
+  // Read caches, summed over every cache in the facility. Served bytes are
+  // tier-exclusive: a read lands in cache_served_bytes OR in the backing
+  // store's byte counters, never both, so per-tier series add up to the
+  // total bytes delivered (no double counting within a sample tick).
+  [[nodiscard]] const TimeSeries& cache_used_bytes() const {
+    return cache_used_;
+  }
+  [[nodiscard]] const TimeSeries& cache_served_bytes() const {
+    return cache_served_;
+  }
 
   // Multi-line snapshot of the facility right now.
   [[nodiscard]] std::string status_report() const;
@@ -49,6 +59,8 @@ class FacilityMonitor {
   TimeSeries ingest_queue_;
   TimeSeries dfs_used_;
   TimeSeries vms_;
+  TimeSeries cache_used_;
+  TimeSeries cache_served_;
 };
 
 }  // namespace lsdf::core

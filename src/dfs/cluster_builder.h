@@ -1,7 +1,7 @@
-// Helper that assembles the analysis cluster's two-level network (core
-// switch, rack switches, worker nodes) plus gateway nodes for the storage
-// systems and the WAN — the physical layout of paper slide 7 — and
-// registers every worker as a DFS datanode.
+//! Helper that assembles the analysis cluster's two-level network (core
+//! switch, rack switches, worker nodes) plus gateway nodes for the storage
+//! systems and the WAN — the physical layout of paper slide 7 — and
+//! registers every worker as a DFS datanode.
 #pragma once
 
 #include <string>

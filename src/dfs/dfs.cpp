@@ -16,6 +16,20 @@ DfsCluster::DfsCluster(sim::Simulator& simulator,
   LSDF_REQUIRE(config_.block_size > Bytes::zero(),
                "block size must be positive");
   LSDF_REQUIRE(config_.replication >= 1, "replication must be >= 1");
+  if (config_.block_cache.capacity > Bytes::zero()) {
+    // No default backing read: every miss routes through read_with, which
+    // carries the reader node the replica choice depends on.
+    block_cache_ = std::make_unique<cache::CachedStore>(
+        simulator_, config_.block_cache, nullptr);
+  }
+}
+
+namespace {
+std::string block_key(BlockId id) { return std::to_string(id); }
+}  // namespace
+
+void DfsCluster::drop_cached_block(BlockId id) {
+  if (block_cache_) block_cache_->cache().erase(block_key(id));
 }
 
 DataNodeId DfsCluster::add_datanode(net::NodeId where, std::string rack) {
@@ -260,6 +274,7 @@ Status DfsCluster::remove(const std::string& path) {
     for (const DataNodeId replica : info.replicas) {
       nodes_[replica].used -= info.size;
     }
+    drop_cached_block(id);
     blocks_.erase(id);
   }
   files_.erase(it);
@@ -298,7 +313,34 @@ std::vector<DataNodeId> DfsCluster::block_replicas(BlockId id) const {
 
 void DfsCluster::read_block(BlockId id, net::NodeId reader,
                             DfsCallback done) {
-  read_attempt(id, reader, {}, simulator_.now(), std::move(done));
+  if (!block_cache_) {
+    read_attempt(id, reader, {}, simulator_.now(), std::move(done));
+    return;
+  }
+  // The cache speaks storage::IoResult; the block's locality travels through
+  // a side channel filled in by the miss path. Hits never reach a replica,
+  // so they report node-local.
+  auto locality = std::make_shared<Locality>(Locality::kNodeLocal);
+  block_cache_->read_with(
+      block_key(id),
+      [this, id, reader, locality](const std::string&,
+                                   storage::IoCallback fill) {
+        read_attempt(id, reader, {}, simulator_.now(),
+                     [locality, fill = std::move(fill)](
+                         const DfsIoResult& result) {
+                       *locality = result.locality;
+                       if (fill) {
+                         fill(storage::IoResult{result.status, result.started,
+                                                result.finished, result.size});
+                       }
+                     });
+      },
+      [locality, done = std::move(done)](const storage::IoResult& result) {
+        if (done) {
+          done(DfsIoResult{result.status, result.started, result.finished,
+                           result.size, *locality});
+        }
+      });
 }
 
 Status DfsCluster::corrupt_replica(BlockId id, DataNodeId node) {
@@ -392,6 +434,9 @@ void DfsCluster::read_attempt(BlockId id, net::NodeId reader,
         corrupted_.erase({id, source});
         schedule_rereplication(id);
       }
+      // Revalidate: any cached copy of this block is suspect now that a
+      // replica failed verification — drop it so the next read re-verifies.
+      drop_cached_block(id);
       excluded.push_back(source);
       read_attempt(id, reader, std::move(excluded), state->started,
                    std::move(done));
@@ -428,7 +473,12 @@ Status DfsCluster::fail_datanode(DataNodeId id) {
       degraded.push_back(block_id);
     }
   }
-  for (const BlockId block_id : degraded) schedule_rereplication(block_id);
+  for (const BlockId block_id : degraded) {
+    // Cached copies of blocks that lost a replica are dropped: the cache
+    // must not mask redundancy loss from readers while re-replication runs.
+    drop_cached_block(block_id);
+    schedule_rereplication(block_id);
+  }
   return Status::ok();
 }
 

@@ -1,14 +1,14 @@
-// LsdfDfs: a simulated Hadoop-style distributed filesystem — the "110 TB
-// Hadoop filesystem" of the paper's analysis cluster (slide 11).
-//
-// Faithful to HDFS where it matters for the experiments:
-//  * files split into fixed-size blocks, replicated (default 3x);
-//  * rack-aware placement: first replica on the writer's node when it is a
-//    datanode, second on a different rack, third on the second's rack;
-//  * reads choose the closest replica (node-local < rack-local < remote);
-//  * datanode failure triggers background re-replication;
-//  * block transfers ride the shared network (TransferEngine) and each
-//    datanode's disk channel, so cluster load is visible end to end.
+//! LsdfDfs: a simulated Hadoop-style distributed filesystem — the "110 TB
+//! Hadoop filesystem" of the paper's analysis cluster (slide 11).
+//!
+//! Faithful to HDFS where it matters for the experiments:
+//!  * files split into fixed-size blocks, replicated (default 3x);
+//!  * rack-aware placement: first replica on the writer's node when it is a
+//!    datanode, second on a different rack, third on the second's rack;
+//!  * reads choose the closest replica (node-local < rack-local < remote);
+//!  * datanode failure triggers background re-replication;
+//!  * block transfers ride the shared network (TransferEngine) and each
+//!    datanode's disk channel, so cluster load is visible end to end.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/cached_store.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/units.h"
@@ -44,6 +45,12 @@ struct DfsConfig {
   // Background re-replication budget per failed-block copy.
   Rate rereplication_cap = Rate::megabytes_per_second(40.0);
   std::uint64_t placement_seed = 42;
+  // Client-side block read cache (lsdf::cache). Disabled by default (zero
+  // capacity); when sized, repeat reads of hot blocks skip the replica
+  // pick, the network leg and the datanode disk entirely. Entries are
+  // invalidated when a file is removed, a replica is quarantined as
+  // corrupt, or a datanode holding a replica fails.
+  cache::CacheConfig block_cache{.name = "dfs-block"};
 };
 
 struct BlockInfo {
@@ -98,10 +105,22 @@ class DfsCluster {
   [[nodiscard]] std::vector<std::string> list() const;
 
   // Read one block from `reader`; the namenode picks the closest replica.
-  // Every read verifies the block's CRC (as HDFS does): a corrupt replica
-  // is dropped, re-replication is queued, and the read transparently
-  // retries from another replica. DATA_LOSS when every replica is corrupt.
+  // Every replica read verifies the block's CRC (as HDFS does): a corrupt
+  // replica is dropped, re-replication is queued, and the read
+  // transparently retries from another replica. DATA_LOSS when every
+  // replica is corrupt. With a sized block cache, cached blocks are served
+  // at cache speed (they were verified on the way in) and report
+  // node-local locality.
   void read_block(BlockId id, net::NodeId reader, DfsCallback done);
+
+  // The block read cache, or nullptr when config.block_cache is unsized.
+  // Exposed non-const so fault plans can register it for invalidation.
+  [[nodiscard]] cache::CachedStore* block_cache() {
+    return block_cache_.get();
+  }
+  [[nodiscard]] const cache::CachedStore* block_cache() const {
+    return block_cache_.get();
+  }
 
   // Failure injection: silently corrupt one replica's on-disk data.
   [[nodiscard]] Status corrupt_replica(BlockId id, DataNodeId node);
@@ -185,10 +204,13 @@ class DfsCluster {
   void drain_step(DataNodeId id,
                   std::shared_ptr<std::function<void()>> done);
 
+  void drop_cached_block(BlockId id);
+
   sim::Simulator& simulator_;
   const net::Topology& topology_;
   net::TransferEngine& net_;
   DfsConfig config_;
+  std::unique_ptr<cache::CachedStore> block_cache_;
   Rng rng_;
   std::vector<DataNode> nodes_;
   std::map<net::NodeId, DataNodeId> by_location_;

@@ -1,6 +1,6 @@
-// Parallel algorithms over a ThreadPool: chunked parallel_for and a
-// parallel reduction. These are the shared-memory building blocks the
-// real-execution MapReduce runner and the examples use.
+//! Parallel algorithms over a ThreadPool: chunked parallel_for and a
+//! parallel reduction. These are the shared-memory building blocks the
+//! real-execution MapReduce runner and the examples use.
 #pragma once
 
 #include <cstdint>

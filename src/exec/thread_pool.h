@@ -1,11 +1,11 @@
-// ThreadPool: work-stealing executor for the library's *real* execution
-// paths (MapReduce RealRunner, checksumming, workflow actors).
-//
-// Design: each worker owns a deque protected by its own mutex; submitters
-// push to the least-loaded queue (or the current worker's own queue when
-// submitting from inside a task); idle workers pop from their own front and
-// steal from victims' backs. All parallelism is explicit and joins before
-// the pool is destroyed — no detached work (Core Guidelines CP rules).
+//! ThreadPool: work-stealing executor for the library's *real* execution
+//! paths (MapReduce RealRunner, checksumming, workflow actors).
+//!
+//! Design: each worker owns a deque protected by its own mutex; submitters
+//! push to the least-loaded queue (or the current worker's own queue when
+//! submitting from inside a task); idle workers pop from their own front and
+//! steal from victims' backs. All parallelism is explicit and joins before
+//! the pool is destroyed — no detached work (Core Guidelines CP rules).
 #pragma once
 
 #include <atomic>

@@ -58,6 +58,13 @@ void FaultInjector::register_disk(const std::string& name,
   component.restore = [&disk] { disk.set_online(true); };
 }
 
+void FaultInjector::register_cache(const std::string& name,
+                                   cache::BlockCache& cache) {
+  Component& component = add_component(name, ComponentKind::kCache);
+  component.fail = [&cache] { cache.invalidate_all(); };
+  component.restore = [] { /* the cache restarts cold and refills */ };
+}
+
 void FaultInjector::register_tape(const std::string& name,
                                   storage::TapeLibrary& tape) {
   Component& component = add_component(name, ComponentKind::kTape);

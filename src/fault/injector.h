@@ -1,28 +1,31 @@
-// FaultInjector: deterministic, seeded fault injection driven by the sim
-// clock — the layer that turns "reliability" from a claim into a measured
-// property. The paper's facility must survive disk, tape-drive and backbone
-// failures while serving running experiments; this injector makes those
-// failures first-class inputs: scheduled fault plans (from config) and
-// stochastic MTBF/MTTR renewal processes per component, over four component
-// kinds:
-//
-//   disk  — DiskArray::set_online(false/true)
-//   tape  — TapeLibrary::fail_drive()/repair_drive() (one drive per fault;
-//           an in-flight operation on the failed drive is aborted and
-//           requeued, GridFTP-style restartability)
-//   link  — Topology::set_duplex_up(forward, false/true)
-//   node  — every duplex link touching the node goes down/up together
-//
-// Determinism: all randomness flows from the constructor seed through
-// per-component forked streams (keyed by a stable FNV-1a hash of the
-// component name), so the same seed yields an identical fault timeline —
-// the property the A5 scenario benchmark and fault_test assert.
-//
-// Overlapping faults on one component coalesce (depth counting): only the
-// 0→1 transition fails hardware and only the 1→0 transition restores it,
-// so a scheduled outage and a stochastic failure that overlap behave as
-// their union. Every actual transition lands in `timeline()` and in the
-// lsdf_fault_* metrics.
+//! FaultInjector: deterministic, seeded fault injection driven by the sim
+//! clock — the layer that turns "reliability" from a claim into a measured
+//! property. The paper's facility must survive disk, tape-drive and backbone
+//! failures while serving running experiments; this injector makes those
+//! failures first-class inputs: scheduled fault plans (from config) and
+//! stochastic MTBF/MTTR renewal processes per component, over four component
+//! kinds:
+//!
+//!   disk  — DiskArray::set_online(false/true)
+//!   tape  — TapeLibrary::fail_drive()/repair_drive() (one drive per fault;
+//!           an in-flight operation on the failed drive is aborted and
+//!           requeued, GridFTP-style restartability)
+//!   link  — Topology::set_duplex_up(forward, false/true)
+//!   node  — every duplex link touching the node goes down/up together
+//!   cache — BlockCache::invalidate_all() on failure (cache contents are
+//!           lost with their node; recovery is a no-op — the cache comes
+//!           back empty and refills on demand)
+//!
+//! Determinism: all randomness flows from the constructor seed through
+//! per-component forked streams (keyed by a stable FNV-1a hash of the
+//! component name), so the same seed yields an identical fault timeline —
+//! the property the A5 scenario benchmark and fault_test assert.
+//!
+//! Overlapping faults on one component coalesce (depth counting): only the
+//! 0→1 transition fails hardware and only the 1→0 transition restores it,
+//! so a scheduled outage and a stochastic failure that overlap behave as
+//! their union. Every actual transition lands in `timeline()` and in the
+//! lsdf_fault_* metrics.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache.h"
 #include "common/config.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -43,7 +47,7 @@
 
 namespace lsdf::fault {
 
-enum class ComponentKind { kDisk, kTape, kLink, kNode };
+enum class ComponentKind { kDisk, kTape, kLink, kNode, kCache };
 
 // One actual fail/restore transition, in sim-time order.
 struct FaultRecord {
@@ -65,6 +69,9 @@ class FaultInjector {
                      net::LinkId forward);
   void register_node(const std::string& name, net::Topology& topology,
                      net::NodeId node);
+  // A fault drops every cached entry (the node holding the cache lost its
+  // contents); recovery is a no-op — the cache restarts cold and refills.
+  void register_cache(const std::string& name, cache::BlockCache& cache);
 
   // Invoked after every topology-affecting change (wire the transfer
   // engine's resync() here so flows re-path/stall immediately).

@@ -1,14 +1,14 @@
-// RetryPolicy: the facility-wide retry/backoff contract (Rucio-style
-// systematic recovery). Every service that retries — the WAN mirror, the
-// ingest pipeline, the reliable transfer wrapper — shares this one policy
-// type so operations have uniform at-most-`max_attempts`, always-terminated
-// semantics: a caller either succeeds or receives a terminal error; work is
-// never silently dropped.
-//
-// Backoff grows exponentially from `initial_backoff` by `multiplier`,
-// capped at `max_backoff`, with *deterministic* jitter: the jitter factor
-// is drawn from the caller's explicitly-seeded Rng, so a whole simulated
-// fault scenario replays bit-identically under the same seed (DESIGN.md §5).
+//! RetryPolicy: the facility-wide retry/backoff contract (Rucio-style
+//! systematic recovery). Every service that retries — the WAN mirror, the
+//! ingest pipeline, the reliable transfer wrapper — shares this one policy
+//! type so operations have uniform at-most-`max_attempts`, always-terminated
+//! semantics: a caller either succeeds or receives a terminal error; work is
+//! never silently dropped.
+//!
+//! Backoff grows exponentially from `initial_backoff` by `multiplier`,
+//! capped at `max_backoff`, with *deterministic* jitter: the jitter factor
+//! is drawn from the caller's explicitly-seeded Rng, so a whole simulated
+//! fault scenario replays bit-identically under the same seed (DESIGN.md §5).
 #pragma once
 
 #include <algorithm>

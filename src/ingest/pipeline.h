@@ -1,10 +1,10 @@
-// IngestPipeline: the path experiment data takes into the facility —
-// DAQ node -> network -> ingest head node -> checksum -> ADAL write ->
-// metadata registration (paper slides 7/8: "Experiments / DAQ" feeding the
-// storage systems, with basic metadata captured at ingest).
-//
-// Parallelism is bounded by ingest slots (a sim::Resource); the queue depth
-// and end-to-end latency are the observables experiment E1 reports.
+//! IngestPipeline: the path experiment data takes into the facility —
+//! DAQ node -> network -> ingest head node -> checksum -> ADAL write ->
+//! metadata registration (paper slides 7/8: "Experiments / DAQ" feeding the
+//! storage systems, with basic metadata captured at ingest).
+//!
+//! Parallelism is bounded by ingest slots (a sim::Resource); the queue depth
+//! and end-to-end latency are the observables experiment E1 reports.
 #pragma once
 
 #include <cstdint>

@@ -1,13 +1,13 @@
-// Experiment data sources: synthetic workload generators with the paper's
-// published rates. Each source emits IngestItems into the pipeline on a
-// Poisson (or regular) arrival process.
-//
-// Presets:
-//  * High-throughput microscopy (slide 5): 4 MB images, ~200k/day, varying
-//    focus/wavelength parameters, zebrafish screening.
-//  * KATRIN (slide 14): continuous runs, one ~500 MB file every 10 minutes.
-//  * Climate/meteorology (slide 14): few large "archival quality" bundles.
-//  * ANKA synchrotron (slide 14): bursty beamtime acquisition.
+//! Experiment data sources: synthetic workload generators with the paper's
+//! published rates. Each source emits IngestItems into the pipeline on a
+//! Poisson (or regular) arrival process.
+//!
+//! Presets:
+//!  * High-throughput microscopy (slide 5): 4 MB images, ~200k/day, varying
+//!    focus/wavelength parameters, zebrafish screening.
+//!  * KATRIN (slide 14): continuous runs, one ~500 MB file every 10 minutes.
+//!  * Climate/meteorology (slide 14): few large "archival quality" bundles.
+//!  * ANKA synchrotron (slide 14): bursty beamtime acquisition.
 #pragma once
 
 #include <cstdint>

@@ -1,4 +1,4 @@
-// Job specification and result types for the simulated MapReduce engine.
+//! Job specification and result types for the simulated MapReduce engine.
 #pragma once
 
 #include <cstdint>

@@ -1,17 +1,17 @@
-// JobTracker: the simulated Hadoop execution engine over the DFS cluster
-// (paper slide 11, "dedicated 60 nodes cluster / Hadoop environment").
-//
-// One map task per input block; tasks run in per-node slots; the scheduler
-// matches free slots to pending tasks by data locality (or randomly, for
-// the A1 ablation). After the map wave, each reduce task shuffles its
-// partition from every map node over the shared network, computes, and the
-// job completes. Stragglers (slow nodes) can be rescued by speculative
-// duplicates, exactly the Hadoop mechanism.
-//
-// Fidelity notes (documented substitutions):
-//  * shuffle begins when all maps finish (Hadoop overlaps; the barrier is
-//    conservative and preserves scaling shape);
-//  * map output lives on the mapper's node, as in Hadoop.
+//! JobTracker: the simulated Hadoop execution engine over the DFS cluster
+//! (paper slide 11, "dedicated 60 nodes cluster / Hadoop environment").
+//!
+//! One map task per input block; tasks run in per-node slots; the scheduler
+//! matches free slots to pending tasks by data locality (or randomly, for
+//! the A1 ablation). After the map wave, each reduce task shuffles its
+//! partition from every map node over the shared network, computes, and the
+//! job completes. Stragglers (slow nodes) can be rescued by speculative
+//! duplicates, exactly the Hadoop mechanism.
+//!
+//! Fidelity notes (documented substitutions):
+//!  * shuffle begins when all maps finish (Hadoop overlaps; the barrier is
+//!    conservative and preserves scaling shape);
+//!  * map output lives on the mapper's node, as in Hadoop.
 #pragma once
 
 #include <cstdint>

@@ -1,14 +1,14 @@
-// LocalRunner: a *real* MapReduce execution engine on the work-stealing
-// thread pool. Where JobTracker simulates cluster timing, LocalRunner runs
-// actual user map/reduce functors over in-memory records — it is what the
-// examples use to really process data (DNA k-mer counting, image
-// statistics), proving the facility's processing code paths are executable
-// and not simulation stubs.
-//
-// Semantics follow Hadoop: map(record) emits (K, V) pairs; pairs are hash-
-// partitioned into R buckets; each bucket is grouped by key; reduce(key,
-// values) emits output pairs. Map tasks and reduce buckets run in parallel;
-// an optional combiner folds each map task's local output before shuffle.
+//! LocalRunner: a *real* MapReduce execution engine on the work-stealing
+//! thread pool. Where JobTracker simulates cluster timing, LocalRunner runs
+//! actual user map/reduce functors over in-memory records — it is what the
+//! examples use to really process data (DNA k-mer counting, image
+//! statistics), proving the facility's processing code paths are executable
+//! and not simulation stubs.
+//!
+//! Semantics follow Hadoop: map(record) emits (K, V) pairs; pairs are hash-
+//! partitioned into R buckets; each bucket is grouped by key; reduce(key,
+//! values) emits output pairs. Map tasks and reduce buckets run in parallel;
+//! an optional combiner folds each map task's local output before shuffle.
 #pragma once
 
 #include <algorithm>

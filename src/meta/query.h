@@ -1,6 +1,6 @@
-// Query language over the metadata store: a conjunction of typed predicates
-// on basic metadata, plus project and tag filters. The store answers exact-
-// match predicates from an inverted index and evaluates the rest by scan.
+//! Query language over the metadata store: a conjunction of typed predicates
+//! on basic metadata, plus project and tag filters. The store answers exact-
+//! match predicates from an inverted index and evaluates the rest by scan.
 #pragma once
 
 #include <optional>
@@ -62,5 +62,11 @@ class Query {
   std::vector<Predicate> predicates_;
   std::optional<std::size_t> limit_;
 };
+
+// Canonical text form of a query, stable across equivalent builder orders
+// (tags and predicates are rendered sorted). Two queries with the same key
+// return the same result set against the same catalogue version — the
+// DataBrowser uses it as its lookup-cache key.
+[[nodiscard]] std::string cache_key(const Query& query);
 
 }  // namespace lsdf::meta

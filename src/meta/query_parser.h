@@ -1,19 +1,19 @@
-// Textual query language for the metadata catalogue — what a DataBrowser
-// user types into the search box (slide 9's "exploring the LSDF data").
-//
-// Grammar (conjunctive; whitespace-insensitive):
-//   query   := clause (("and" | "&&") clause)*
-//   clause  := "project" ":" ident
-//            | "tag" ":" ident
-//            | "limit" ":" integer
-//            | ident op value
-//   op      := "==" | "=" | "!=" | "<" | "<=" | ">" | ">=" | "~"   (~ = contains)
-//   value   := integer | float | "true" | "false" | quoted or bare string
-//
-// Examples:
-//   project:zebrafish-htm and wavelength = "488nm" and sequence < 100
-//   tag:golden and exposure_ms >= 10.5
-//   instrument ~ microscope and calibrated = true
+//! Textual query language for the metadata catalogue — what a DataBrowser
+//! user types into the search box (slide 9's "exploring the LSDF data").
+//!
+//! Grammar (conjunctive; whitespace-insensitive):
+//!   query   := clause (("and" | "&&") clause)*
+//!   clause  := "project" ":" ident
+//!            | "tag" ":" ident
+//!            | "limit" ":" integer
+//!            | ident op value
+//!   op      := "==" | "=" | "!=" | "<" | "<=" | ">" | ">=" | "~"   (~ = contains)
+//!   value   := integer | float | "true" | "false" | quoted or bare string
+//!
+//! Examples:
+//!   project:zebrafish-htm and wavelength = "488nm" and sequence < 100
+//!   tag:golden and exposure_ms >= 10.5
+//!   instrument ~ microscope and calibrated = true
 #pragma once
 
 #include <string_view>

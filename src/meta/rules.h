@@ -1,12 +1,12 @@
-// RuleEngine: iRODS-style data-management policies (paper slide 14,
-// "Data management system iRODS (ongoing)"). A rule binds an event kind and
-// an optional predicate on the dataset's basic metadata to an action; the
-// engine subscribes to the MetadataStore and fires matching rules.
-//
-// Typical facility policies expressed this way:
-//   on kRegistered where community == "katrin"  -> replicate to archive
-//   on kTagged("analysis-done")                 -> migrate raw data to tape
-//   on kAccessed                                -> refresh staging pin
+//! RuleEngine: iRODS-style data-management policies (paper slide 14,
+//! "Data management system iRODS (ongoing)"). A rule binds an event kind and
+//! an optional predicate on the dataset's basic metadata to an action; the
+//! engine subscribes to the MetadataStore and fires matching rules.
+//!
+//! Typical facility policies expressed this way:
+//!   on kRegistered where community == "katrin"  -> replicate to archive
+//!   on kTagged("analysis-done")                 -> migrate raw data to tape
+//!   on kAccessed                                -> refresh staging pin
 #pragma once
 
 #include <functional>

@@ -19,6 +19,7 @@ Status MetadataStore::create_project(const std::string& name, Schema schema) {
     return already_exists("project " + name);
   }
   projects_.emplace(name, Project{std::move(schema), {}});
+  touch();
   return Status::ok();
 }
 
@@ -82,6 +83,7 @@ Result<DatasetId> MetadataStore::register_dataset(Registration reg) {
   project_it->second.by_name.emplace(std::move(reg.name), id);
   total_bytes_ += record.size;
   records_.emplace(id, std::move(record));
+  touch();
   emit(MetaEvent{EventKind::kRegistered, id, {}});
   return id;
 }
@@ -154,6 +156,7 @@ Status MetadataStore::tag(DatasetId id, const std::string& tag) {
   }
   tags.push_back(tag);
   tag_index_[tag].insert(id);
+  touch();
   emit(MetaEvent{EventKind::kTagged, id, tag});
   return Status::ok();
 }
@@ -166,6 +169,7 @@ Status MetadataStore::untag(DatasetId id, const std::string& tag) {
   if (tag_it == tags.end()) return not_found("tag " + tag);
   tags.erase(tag_it);
   tag_index_[tag].erase(id);
+  touch();
   emit(MetaEvent{EventKind::kUntagged, id, tag});
   return Status::ok();
 }
@@ -192,6 +196,7 @@ Result<BranchId> MetadataStore::open_branch(DatasetId id, std::string name,
   branch.parameters = std::move(parameters);
   branch.created = now;
   it->second.branches.push_back(std::move(branch));
+  touch();
   emit(MetaEvent{EventKind::kBranchOpened, id, name});
   return it->second.branches.back().id;
 }
@@ -206,6 +211,7 @@ Status MetadataStore::append_result(DatasetId id, BranchId branch,
       return failed_precondition("branch " + candidate.name + " is closed");
     }
     candidate.results.push_back(result_uri);
+    touch();
     emit(MetaEvent{EventKind::kResultAppended, id, std::move(result_uri)});
     return Status::ok();
   }
@@ -221,6 +227,7 @@ Status MetadataStore::close_branch(DatasetId id, BranchId branch) {
       return failed_precondition("branch already closed");
     }
     candidate.closed = true;
+    touch();
     return Status::ok();
   }
   return not_found("branch #" + std::to_string(branch));

@@ -1,12 +1,12 @@
-// MetadataStore: the project metadata database (paper slide 8).
-//
-// Invariants enforced here, tested in tests/meta_test.cpp:
-//  * datasets are WORM — basic metadata never changes after registration;
-//  * required schema attributes must be present and correctly typed;
-//  * processing branches are independent: each carries write-once
-//    parameters and an append-only result list;
-//  * every mutation emits a MetaEvent to registered observers (the rule
-//    engine and the workflow tag-trigger build on this).
+//! MetadataStore: the project metadata database (paper slide 8).
+//!
+//! Invariants enforced here, tested in tests/meta_test.cpp:
+//!  * datasets are WORM — basic metadata never changes after registration;
+//!  * required schema attributes must be present and correctly typed;
+//!  * processing branches are independent: each carries write-once
+//!    parameters and an append-only result list;
+//!  * every mutation emits a MetaEvent to registered observers (the rule
+//!    engine and the workflow tag-trigger build on this).
 #pragma once
 
 #include <cstdint>
@@ -73,6 +73,13 @@ class MetadataStore {
   // Record a data access (keeps usage statistics, fires kAccessed).
   void note_access(DatasetId id);
 
+  // Monotonic catalogue mutation counter: bumped by every mutation that can
+  // change a query's result set (projects, registrations, tags, branches,
+  // results) — but NOT by note_access, which only records usage, so query
+  // caches survive downloads. Pull-based invalidation: cache owners compare
+  // the version they captured against the current one.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
   // -- Observation ------------------------------------------------------------
   void subscribe(Observer observer) {
     observers_.push_back(std::move(observer));
@@ -95,6 +102,7 @@ class MetadataStore {
   };
 
   void emit(const MetaEvent& event) const;
+  void touch() { ++version_; }
   [[nodiscard]] Status validate_against_schema(const Schema& schema,
                                                const AttrMap& attrs) const;
 
@@ -107,6 +115,7 @@ class MetadataStore {
   std::vector<Observer> observers_;
   DatasetId next_id_ = 1;
   BranchId next_branch_id_ = 1;
+  std::uint64_t version_ = 0;
   Bytes total_bytes_;
 };
 

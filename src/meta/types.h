@@ -1,9 +1,9 @@
-// Core vocabulary of the metadata repository (paper slide 8).
-//
-// Experiment DATA is write-once-read-many and persistent; BASIC METADATA is
-// written once at ingest; each processing campaign adds an independent
-// METADATA branch (processing parameters + results) without ever mutating
-// the basic record. These types encode that model.
+//! Core vocabulary of the metadata repository (paper slide 8).
+//!
+//! Experiment DATA is write-once-read-many and persistent; BASIC METADATA is
+//! written once at ingest; each processing campaign adds an independent
+//! METADATA branch (processing parameters + results) without ever mutating
+//! the basic record. These types encode that model.
 #pragma once
 
 #include <cstdint>

@@ -1,6 +1,6 @@
-// LinkMonitor: periodic sampling of per-link allocated bandwidth — the
-// backbone-utilisation view facility operators watch (and experiment E2's
-// network series).
+//! LinkMonitor: periodic sampling of per-link allocated bandwidth — the
+//! backbone-utilisation view facility operators watch (and experiment E2's
+//! network series).
 #pragma once
 
 #include <algorithm>

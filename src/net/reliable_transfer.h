@@ -1,17 +1,17 @@
-// ReliableTransfer: a retrying wrapper around TransferEngine — the
-// GridFTP-style fault-tolerant transport client (Allcock et al.). Callers
-// submit once and always receive exactly one terminal report: success after
-// at most `RetryPolicy::max_attempts` tries, or a terminal error carrying
-// the last failure. Routing failures at submission (no route) and cancelled
-// flows both count as retryable attempts; backoff between attempts follows
-// the shared `fault::RetryPolicy` with deterministic jitter drawn from this
-// wrapper's own seeded stream, so whole fault scenarios replay identically.
-//
-// Telemetry (all labelled {service=<name>}):
-//   lsdf_retry_attempts_total    retries actually performed
-//   lsdf_retry_exhausted_total   operations that gave up
-//   lsdf_retry_recovery_seconds  submit-to-success latency of operations
-//                                that needed at least one retry
+//! ReliableTransfer: a retrying wrapper around TransferEngine — the
+//! GridFTP-style fault-tolerant transport client (Allcock et al.). Callers
+//! submit once and always receive exactly one terminal report: success after
+//! at most `RetryPolicy::max_attempts` tries, or a terminal error carrying
+//! the last failure. Routing failures at submission (no route) and cancelled
+//! flows both count as retryable attempts; backoff between attempts follows
+//! the shared `fault::RetryPolicy` with deterministic jitter drawn from this
+//! wrapper's own seeded stream, so whole fault scenarios replay identically.
+//!
+//! Telemetry (all labelled {service=<name>}):
+//!   lsdf_retry_attempts_total    retries actually performed
+//!   lsdf_retry_exhausted_total   operations that gave up
+//!   lsdf_retry_recovery_seconds  submit-to-success latency of operations
+//!                                that needed at least one retry
 #pragma once
 
 #include <cstdint>

@@ -1,6 +1,6 @@
-// Network topology: named nodes joined by duplex links with a capacity and
-// a propagation latency. Models the LSDF 10 GE backbone, the redundant
-// routers, institute uplinks and the WAN link to Heidelberg (paper slide 7).
+//! Network topology: named nodes joined by duplex links with a capacity and
+//! a propagation latency. Models the LSDF 10 GE backbone, the redundant
+//! routers, institute uplinks and the WAN link to Heidelberg (paper slide 7).
 #pragma once
 
 #include <cstdint>

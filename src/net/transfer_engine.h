@@ -1,13 +1,13 @@
-// Flow-level data-transfer simulation with max-min fair bandwidth sharing.
-//
-// Concurrent transfers crossing the same links share capacity the way TCP
-// flows do in aggregate: the engine computes the max-min fair allocation
-// (progressive filling with per-flow rate caps) every time the flow set
-// changes, and advances each flow's progress between changes. This is the
-// standard flow-level abstraction used by grid/datacentre simulators — it
-// reproduces transfer times and link utilisation without packet-level cost,
-// which is exactly what the paper's "15 days per PB over 10 Gb/s" argument
-// is about.
+//! Flow-level data-transfer simulation with max-min fair bandwidth sharing.
+//!
+//! Concurrent transfers crossing the same links share capacity the way TCP
+//! flows do in aggregate: the engine computes the max-min fair allocation
+//! (progressive filling with per-flow rate caps) every time the flow set
+//! changes, and advances each flow's progress between changes. This is the
+//! standard flow-level abstraction used by grid/datacentre simulators — it
+//! reproduces transfer times and link utilisation without packet-level cost,
+//! which is exactly what the paper's "15 days per PB over 10 Gb/s" argument
+//! is about.
 #pragma once
 
 #include <cstdint>

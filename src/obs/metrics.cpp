@@ -181,6 +181,17 @@ std::int64_t MetricsRegistry::counter_total(const std::string& name) const {
   return total;
 }
 
+double MetricsRegistry::gauge_total(const std::string& name) const {
+  const chk::LockGuard lock(mutex_);
+  double total = 0.0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.name == name && entry.kind == InstrumentKind::kGauge) {
+      total += entry.gauge->value();
+    }
+  }
+  return total;
+}
+
 std::vector<InstrumentSnapshot> MetricsRegistry::snapshot() const {
   const chk::LockGuard lock(mutex_);
   std::vector<InstrumentSnapshot> out;

@@ -1,18 +1,18 @@
-// MetricsRegistry: process-wide registry of named, labelled instruments —
-// the facility-wide telemetry layer (the operational view of paper slide 15,
-// and what Rucio-class facilities treat as a first-class subsystem).
-//
-// Design rules:
-//  * Handle-based updates: callers resolve an instrument once (one lock,
-//    one map lookup) and then update it through a stable reference. The hot
-//    path — Counter::add, Gauge::set, Histogram::observe — is a relaxed
-//    atomic operation, never a lock or a lookup.
-//  * Instruments live as long as the registry (node-stable storage); handles
-//    returned by the registry never dangle.
-//  * Gauges can either be set directly or bound to a provider callback
-//    (sampled at read time); providers must be unbound before the object
-//    they read from dies — unbinding freezes the last value.
-//  * Export: Prometheus text exposition, CSV, and a merged Snapshot struct.
+//! MetricsRegistry: process-wide registry of named, labelled instruments —
+//! the facility-wide telemetry layer (the operational view of paper slide 15,
+//! and what Rucio-class facilities treat as a first-class subsystem).
+//!
+//! Design rules:
+//!  * Handle-based updates: callers resolve an instrument once (one lock,
+//!    one map lookup) and then update it through a stable reference. The hot
+//!    path — Counter::add, Gauge::set, Histogram::observe — is a relaxed
+//!    atomic operation, never a lock or a lookup.
+//!  * Instruments live as long as the registry (node-stable storage); handles
+//!    returned by the registry never dangle.
+//!  * Gauges can either be set directly or bound to a provider callback
+//!    (sampled at read time); providers must be unbound before the object
+//!    they read from dies — unbinding freezes the last value.
+//!  * Export: Prometheus text exposition, CSV, and a merged Snapshot struct.
 #pragma once
 
 #include <atomic>
@@ -147,6 +147,9 @@ class MetricsRegistry {
                                            const Labels& labels = {}) const;
   // Sum of a counter across every label set registered under `name`.
   [[nodiscard]] std::int64_t counter_total(const std::string& name) const;
+  // Sum of a gauge across every label set registered under `name` (e.g.
+  // lsdf_cache_used_bytes over all caches).
+  [[nodiscard]] double gauge_total(const std::string& name) const;
 
   [[nodiscard]] std::vector<InstrumentSnapshot> snapshot() const;
   // Prometheus text exposition format (counters get a _total-less name as

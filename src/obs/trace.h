@@ -1,11 +1,11 @@
-// Structured span tracing with Chrome trace_event JSON export, so any bench
-// or test run opens directly in chrome://tracing / Perfetto.
-//
-// Dual clock: a tracer either runs on the process steady_clock (real
-// execution: ThreadPool work, checksumming) or on a caller-supplied
-// simulated clock (a sim::Simulator's now()), so simulated facility
-// timelines and wall-clock timelines use the same machinery. Disabled
-// tracers cost one relaxed atomic load per span site.
+//! Structured span tracing with Chrome trace_event JSON export, so any bench
+//! or test run opens directly in chrome://tracing / Perfetto.
+//!
+//! Dual clock: a tracer either runs on the process steady_clock (real
+//! execution: ThreadPool work, checksumming) or on a caller-supplied
+//! simulated clock (a sim::Simulator's now()), so simulated facility
+//! timelines and wall-clock timelines use the same machinery. Disabled
+//! tracers cost one relaxed atomic load per span site.
 #pragma once
 
 #include <atomic>

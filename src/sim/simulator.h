@@ -1,10 +1,10 @@
-// Discrete-event simulation kernel.
-//
-// Every time-dependent model in the facility (disk arrays, tape robots,
-// network flows, MapReduce tasks, VM boots, experiment data sources) runs on
-// one Simulator. The kernel is deliberately single-threaded: determinism is
-// a design requirement (DESIGN.md §5), so events at equal timestamps execute
-// in scheduling order (FIFO tie-break by sequence number).
+//! Discrete-event simulation kernel.
+//!
+//! Every time-dependent model in the facility (disk arrays, tape robots,
+//! network flows, MapReduce tasks, VM boots, experiment data sources) runs on
+//! one Simulator. The kernel is deliberately single-threaded: determinism is
+//! a design requirement (DESIGN.md §5), so events at equal timestamps execute
+//! in scheduling order (FIFO tie-break by sequence number).
 #pragma once
 
 #include <cstdint>

@@ -1,6 +1,6 @@
-// DiskArray: model of one online storage system (the paper's 0.5 PB DDN and
-// 1.4 PB IBM systems). Parameters: capacity, aggregate streaming bandwidth,
-// per-stream cap, and a fixed per-operation latency (controller + seek).
+//! DiskArray: model of one online storage system (the paper's 0.5 PB DDN and
+//! 1.4 PB IBM systems). Parameters: capacity, aggregate streaming bandwidth,
+//! per-stream cap, and a fixed per-operation latency (controller + seek).
 #pragma once
 
 #include <cstdint>

@@ -30,6 +30,13 @@ HsmStore::HsmStore(sim::Simulator& simulator, DiskArray& cache,
   LSDF_REQUIRE(config_.low_watermark <= config_.high_watermark,
                "low watermark above high watermark");
   LSDF_REQUIRE(config_.high_watermark <= 1.0, "watermark above 1.0");
+  if (config_.read_cache.capacity > Bytes::zero()) {
+    read_cache_ = std::make_unique<cache::CachedStore>(
+        simulator_, config_.read_cache,
+        [this](const std::string& object, IoCallback done) {
+          get_from_tiers(object, std::move(done));
+        });
+  }
 }
 
 void HsmStore::start() {
@@ -77,6 +84,22 @@ void HsmStore::get(const std::string& object, IoCallback done) {
     return;
   }
   it->second.last_access = simulator_.now();
+  if (read_cache_) {
+    // Hit: served from the read-cache channel; the disk/tape tiers (and
+    // their byte counters) are never touched. Miss: get_from_tiers runs
+    // and the object is admitted on completion.
+    read_cache_->read(object, std::move(done));
+    return;
+  }
+  get_from_tiers(object, std::move(done));
+}
+
+void HsmStore::get_from_tiers(const std::string& object, IoCallback done) {
+  const auto it = objects_.find(object);
+  if (it == objects_.end()) {
+    fail(std::move(done), not_found(object), Bytes::zero());
+    return;
+  }
   if (it->second.disk_resident) {
     ++stats_.disk_hits;
     cache_.read(it->second.size, std::move(done));
@@ -92,6 +115,7 @@ Status HsmStore::forget(const std::string& object) {
       it->second.direct_reads > 0) {
     return failed_precondition(object + " has I/O in flight");
   }
+  if (read_cache_) read_cache_->cache().erase(object);
   if (it->second.disk_resident) cache_.release(it->second.size);
   if (it->second.tape_resident) {
     // Tape space becomes dead; TapeLibrary::compact() reclaims it later.

@@ -1,16 +1,18 @@
-// HsmStore: hierarchical storage management combining a disk cache and the
-// tape library. New data lands on disk; a migration policy copies cold data
-// to tape; watermark-driven eviction drops disk copies of migrated objects;
-// reads of tape-only objects are staged back to disk. This is the archive
-// behaviour the facility provides under ADAL (paper slides 7/9).
+//! HsmStore: hierarchical storage management combining a disk cache and the
+//! tape library. New data lands on disk; a migration policy copies cold data
+//! to tape; watermark-driven eviction drops disk copies of migrated objects;
+//! reads of tape-only objects are staged back to disk. This is the archive
+//! behaviour the facility provides under ADAL (paper slides 7/9).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "cache/cached_store.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "obs/metrics.h"
@@ -35,6 +37,10 @@ struct HsmConfig {
   // How often the migration/eviction scan runs.
   SimDuration scan_period = 5_min;
   EvictionPolicy eviction = EvictionPolicy::kLeastRecentlyUsed;
+  // Object read cache fronting both tiers (lsdf::cache). Disabled by
+  // default (zero capacity); when sized, repeat reads of hot objects are
+  // served at cache speed without re-staging from tape.
+  cache::CacheConfig read_cache{.name = "hsm-read"};
 };
 
 struct HsmStats {
@@ -61,7 +67,7 @@ class HsmStore {
   // Store a new object (fails ALREADY_EXISTS / RESOURCE_EXHAUSTED).
   void put(const std::string& object, Bytes size, IoCallback done);
 
-  // Retrieve an object: disk hit, or tape stage + disk hit.
+  // Retrieve an object: read-cache hit, disk hit, or tape stage + disk hit.
   void get(const std::string& object, IoCallback done);
 
   // Drop an object everywhere (disk copy freed; tape copy is append-only
@@ -79,6 +85,12 @@ class HsmStore {
   [[nodiscard]] const HsmStats& stats() const { return stats_; }
   [[nodiscard]] DiskArray& cache() { return cache_; }
   [[nodiscard]] TapeLibrary& tape() { return tape_; }
+  // The object read cache, or nullptr when config.read_cache is unsized.
+  // Exposed non-const so fault plans can register it for invalidation.
+  [[nodiscard]] cache::CachedStore* read_cache() { return read_cache_.get(); }
+  [[nodiscard]] const cache::CachedStore* read_cache() const {
+    return read_cache_.get();
+  }
 
   // One synchronous policy scan (also called by the periodic task).
   void scan();
@@ -99,6 +111,9 @@ class HsmStore {
 
   void migrate(const std::string& object, Entry& entry);
   void evict_until_low_watermark();
+  // The uncached tier walk (disk hit, else tape stage): the read cache's
+  // backing read, and the whole of get() when the cache is disabled.
+  void get_from_tiers(const std::string& object, IoCallback done);
   void stage_then_read(const std::string& object, IoCallback done);
   void fail(IoCallback done, Status status, Bytes size);
 
@@ -106,6 +121,7 @@ class HsmStore {
   DiskArray& cache_;
   TapeLibrary& tape_;
   HsmConfig config_;
+  std::unique_ptr<cache::CachedStore> read_cache_;
   sim::PeriodicTask scanner_;
   std::map<std::string, Entry> objects_;
   HsmStats stats_;

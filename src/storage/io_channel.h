@@ -1,7 +1,7 @@
-// FairChannel: a single shared bandwidth resource (a disk-array controller,
-// a datanode's disks) whose concurrent operations split capacity equally,
-// subject to an optional per-operation rate cap. This is the single-link
-// special case of the network engine's max-min allocation.
+//! FairChannel: a single shared bandwidth resource (a disk-array controller,
+//! a datanode's disks) whose concurrent operations split capacity equally,
+//! subject to an optional per-operation rate cap. This is the single-link
+//! special case of the network engine's max-min allocation.
 #pragma once
 
 #include <cstdint>

@@ -1,7 +1,7 @@
-// StoragePool: aggregates several disk arrays behind one allocation API with
-// a pluggable placement policy. Models the facility's "2 PB in 2 storage
-// systems" layer (paper slide 7): datasets land on DDN or IBM according to
-// policy, and the pool reports combined utilisation.
+//! StoragePool: aggregates several disk arrays behind one allocation API with
+//! a pluggable placement policy. Models the facility's "2 PB in 2 storage
+//! systems" layer (paper slide 7): datasets land on DDN or IBM according to
+//! policy, and the pool reports combined utilisation.
 #pragma once
 
 #include <cstdint>

@@ -1,9 +1,9 @@
-// TapeLibrary: model of the facility's tape backend for archive and backup
-// (paper slide 7). A robot exchanges cartridges into a small number of
-// drives; reads pay robot + mount + seek latency and then stream at the
-// drive rate. Drives remember their mounted cartridge, so consecutive
-// requests for the same cartridge skip the exchange — the effect the HSM
-// ablation (A2) measures.
+//! TapeLibrary: model of the facility's tape backend for archive and backup
+//! (paper slide 7). A robot exchanges cartridges into a small number of
+//! drives; reads pay robot + mount + seek latency and then stream at the
+//! drive rate. Drives remember their mounted cartridge, so consecutive
+//! requests for the same cartridge skip the exchange — the effect the HSM
+//! ablation (A2) measures.
 #pragma once
 
 #include <cstdint>

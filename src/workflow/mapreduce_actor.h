@@ -1,7 +1,7 @@
-// Bridge between the workflow orchestrator and the Hadoop engine: an actor
-// whose body submits a MapReduce job and completes when the job does. This
-// is how facility workflows mix per-dataset steps with cluster-scale
-// analytics (slide 12's workflows feeding slide 11's Hadoop cluster).
+//! Bridge between the workflow orchestrator and the Hadoop engine: an actor
+//! whose body submits a MapReduce job and completes when the job does. This
+//! is how facility workflows mix per-dataset steps with cluster-scale
+//! analytics (slide 12's workflows feeding slide 11's Hadoop cluster).
 #pragma once
 
 #include <functional>

@@ -1,8 +1,8 @@
-// Workflow DAG + execution engine + tag trigger — the paper's slide 12:
-// "Allow tagging data and triggering execution via DataBrowser. Data from
-// finished workflows stored and tagged in DB."  (Kepler plays this role at
-// the real facility; this is a from-scratch orchestrator with the same
-// shape: actors wired into a DAG, data-driven firing, provenance capture.)
+//! Workflow DAG + execution engine + tag trigger — the paper's slide 12:
+//! "Allow tagging data and triggering execution via DataBrowser. Data from
+//! finished workflows stored and tagged in DB."  (Kepler plays this role at
+//! the real facility; this is a from-scratch orchestrator with the same
+//! shape: actors wired into a DAG, data-driven firing, provenance capture.)
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,575 @@
+// Tests for lsdf::cache: eviction policies (LRU, S3-FIFO, TTL), the
+// CachedStore read-/write-through wrapper, HSM and DFS integration,
+// fault-injected invalidation, the DataBrowser query cache, and the
+// tier-exclusive byte-attribution contract (a hit never touches the
+// backing store's counters).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/cache.h"
+#include "cache/cached_store.h"
+#include "cache/lookup_cache.h"
+#include "core/data_browser.h"
+#include "core/facility.h"
+#include "dfs/cluster_builder.h"
+#include "dfs/dfs.h"
+#include "fault/injector.h"
+#include "meta/query.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+#include "storage/disk_array.h"
+#include "storage/hsm_store.h"
+#include "storage/tape_library.h"
+
+namespace lsdf::cache {
+namespace {
+
+CacheConfig small_config(Policy policy = Policy::kLru) {
+  CacheConfig config;
+  config.name = "test";
+  config.capacity = 100_MB;
+  config.policy = policy;
+  return config;
+}
+
+// --- BlockCache: eviction policies --------------------------------------------
+
+TEST(BlockCache, LruEvictsTheColdestEntry) {
+  sim::Simulator sim;
+  BlockCache cache(sim, small_config());
+  EXPECT_TRUE(cache.admit("a", 40_MB));
+  EXPECT_TRUE(cache.admit("b", 40_MB));
+  // "a" is now the LRU entry; admitting "c" must evict it.
+  EXPECT_TRUE(cache.admit("c", 40_MB));
+  EXPECT_FALSE(cache.contains("a"));
+  EXPECT_TRUE(cache.contains("b"));
+  EXPECT_TRUE(cache.contains("c"));
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.used(), 80_MB);
+}
+
+TEST(BlockCache, LruHitRefreshesRecency) {
+  sim::Simulator sim;
+  BlockCache cache(sim, small_config());
+  EXPECT_TRUE(cache.admit("a", 40_MB));
+  EXPECT_TRUE(cache.admit("b", 40_MB));
+  EXPECT_TRUE(cache.lookup("a"));  // "b" becomes the coldest
+  EXPECT_TRUE(cache.admit("c", 40_MB));
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_FALSE(cache.contains("b"));
+}
+
+TEST(BlockCache, ZeroCapacityDisablesTheCache) {
+  sim::Simulator sim;
+  CacheConfig config;
+  config.capacity = Bytes::zero();
+  BlockCache cache(sim, config);
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_FALSE(cache.admit("a", 1_MB));
+  EXPECT_FALSE(cache.lookup("a"));
+  EXPECT_EQ(cache.entry_count(), 0u);
+}
+
+TEST(BlockCache, OversizeObjectsAreRefusedWithoutThrashing) {
+  sim::Simulator sim;
+  BlockCache cache(sim, small_config());
+  EXPECT_TRUE(cache.admit("resident", 60_MB));
+  // Larger than total capacity: refused outright, nothing evicted for it.
+  EXPECT_FALSE(cache.admit("whale", 200_MB));
+  EXPECT_TRUE(cache.contains("resident"));
+  EXPECT_EQ(cache.stats().evictions, 0);
+}
+
+TEST(BlockCache, TtlEntriesLapseOnTheSimClock) {
+  sim::Simulator sim;
+  CacheConfig config = small_config(Policy::kTtl);
+  config.ttl = 5_min;
+  BlockCache cache(sim, config);
+  EXPECT_TRUE(cache.admit("a", 10_MB));
+  sim.run_until(SimTime::zero() + 2_min);
+  EXPECT_TRUE(cache.lookup("a"));  // still fresh
+  sim.run_until(SimTime::zero() + 6_min);
+  EXPECT_FALSE(cache.lookup("a"));  // lapsed: counted as expiry + miss
+  EXPECT_EQ(cache.stats().expirations, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.used(), Bytes::zero());
+}
+
+TEST(BlockCache, S3FifoEvictsOneHitWondersFromProbation) {
+  sim::Simulator sim;
+  CacheConfig config = small_config(Policy::kS3Fifo);
+  config.small_fraction = 0.2;  // 20 MB probationary budget
+  BlockCache cache(sim, config);
+  // A stream of never-reused keys must churn through the small queue and
+  // never displace the referenced entries in main.
+  EXPECT_TRUE(cache.admit("scan-0", 10_MB));
+  EXPECT_TRUE(cache.lookup("scan-0"));  // referenced: survives to main
+  for (int i = 1; i <= 12; ++i) {
+    EXPECT_TRUE(cache.admit("scan-" + std::to_string(i), 10_MB));
+  }
+  EXPECT_TRUE(cache.contains("scan-0"));
+  EXPECT_GT(cache.stats().evictions, 0);
+  EXPECT_GT(cache.ghost_count(), 0u);  // evicted probation keys are ghosts
+}
+
+TEST(BlockCache, S3FifoGhostHitReadmitsStraightToMain) {
+  sim::Simulator sim;
+  CacheConfig config = small_config(Policy::kS3Fifo);
+  config.small_fraction = 0.2;
+  BlockCache cache(sim, config);
+  EXPECT_TRUE(cache.admit("victim", 10_MB));
+  // Fill to capacity, then one more admission forces an eviction from the
+  // probation queue: "victim" (unreferenced, at the FIFO head) goes first.
+  for (int i = 1; i <= 9; ++i) {
+    EXPECT_TRUE(cache.admit("fill-" + std::to_string(i), 10_MB));
+  }
+  EXPECT_TRUE(cache.admit("trigger", 10_MB));
+  EXPECT_FALSE(cache.contains("victim"));
+  EXPECT_EQ(cache.ghost_count(), 1u);  // evicted probation key is a ghost
+  // Re-admission finds the ghost: "victim" lands in the main queue, where
+  // a continuing one-hit-wonder stream can no longer push it out (while
+  // the probation queue is over budget, evictions come from probation).
+  EXPECT_TRUE(cache.admit("victim", 10_MB));
+  EXPECT_TRUE(cache.contains("victim"));
+  for (int i = 10; i <= 15; ++i) {
+    EXPECT_TRUE(cache.admit("fill-" + std::to_string(i), 10_MB));
+  }
+  EXPECT_TRUE(cache.contains("victim"));
+  EXPECT_GE(cache.stats().evictions, 7);
+}
+
+TEST(BlockCache, EraseAndInvalidateAllCountAsInvalidations) {
+  sim::Simulator sim;
+  BlockCache cache(sim, small_config());
+  EXPECT_TRUE(cache.admit("a", 10_MB));
+  EXPECT_TRUE(cache.admit("b", 10_MB));
+  EXPECT_TRUE(cache.erase("a"));
+  EXPECT_FALSE(cache.erase("a"));  // already gone
+  cache.invalidate_all();
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.used(), Bytes::zero());
+  EXPECT_EQ(cache.stats().invalidations, 2);
+  EXPECT_EQ(cache.stats().evictions, 0);  // invalidation is not eviction
+}
+
+// --- CachedStore: read-through / write-through timing -------------------------
+
+struct StoreFixture {
+  sim::Simulator sim;
+  int backing_reads = 0;
+  int backing_writes = 0;
+  SimDuration backing_latency = 2_min;
+
+  CachedStore make(CacheConfig config = small_config()) {
+    return CachedStore(
+        sim, config,
+        [this](const std::string&, storage::IoCallback done) {
+          ++backing_reads;
+          const SimTime started = sim.now();
+          sim.schedule_after(backing_latency, [this, started, done] {
+            done(storage::IoResult{Status::ok(), started, sim.now(), 30_MB});
+          });
+        },
+        [this](const std::string&, Bytes size, storage::IoCallback done) {
+          ++backing_writes;
+          done(storage::IoResult{Status::ok(), sim.now(), sim.now(), size});
+        });
+  }
+
+  storage::IoResult read(CachedStore& store, const std::string& key) {
+    std::optional<storage::IoResult> result;
+    store.read(key, [&](const storage::IoResult& r) { result = r; });
+    sim.run_while_pending([&] { return result.has_value(); });
+    EXPECT_TRUE(result.has_value());
+    return *result;
+  }
+};
+
+TEST(CachedStore, MissReadsThroughAndAdmitsThenHitsSkipTheBacking) {
+  StoreFixture f;
+  CachedStore store = f.make();
+  const storage::IoResult cold = f.read(store, "obj");
+  EXPECT_TRUE(cold.status.is_ok());
+  EXPECT_EQ(f.backing_reads, 1);
+  EXPECT_GE(cold.duration(), f.backing_latency);
+
+  const storage::IoResult warm = f.read(store, "obj");
+  EXPECT_TRUE(warm.status.is_ok());
+  EXPECT_EQ(f.backing_reads, 1);  // served from cache
+  EXPECT_EQ(warm.size, 30_MB);
+  EXPECT_LT(warm.duration(), cold.duration());
+  EXPECT_EQ(store.bytes_served(), 30_MB);
+  EXPECT_EQ(store.cache().stats().hits, 1);
+  EXPECT_EQ(store.cache().stats().misses, 1);
+}
+
+TEST(CachedStore, HitsCostSimulatedTimeNotZero) {
+  // The determinism contract: hits are serviced through the event kernel
+  // (latency + channel), never delivered synchronously at time zero.
+  StoreFixture f;
+  CachedStore store = f.make();
+  (void)f.read(store, "obj");
+  const storage::IoResult warm = f.read(store, "obj");
+  EXPECT_GT(warm.duration(), SimDuration::zero());
+  EXPECT_GE(warm.duration(), store.cache().config().hit_latency);
+}
+
+TEST(CachedStore, WriteThroughAdmitsSoTheNextReadHits) {
+  StoreFixture f;
+  CachedStore store = f.make();
+  std::optional<storage::IoResult> written;
+  store.write("obj", 30_MB, [&](const storage::IoResult& r) { written = r; });
+  f.sim.run_while_pending([&] { return written.has_value(); });
+  ASSERT_TRUE(written.has_value());
+  EXPECT_TRUE(written->status.is_ok());
+  EXPECT_EQ(f.backing_writes, 1);
+
+  (void)f.read(store, "obj");
+  EXPECT_EQ(f.backing_reads, 0);  // the write primed the cache
+}
+
+TEST(CachedStore, FailedBackingReadsAreNotAdmitted) {
+  sim::Simulator sim;
+  CachedStore store(
+      sim, small_config(),
+      [&](const std::string&, storage::IoCallback done) {
+        done(storage::IoResult{unavailable("backing down"), sim.now(),
+                               sim.now(), Bytes::zero()});
+      });
+  std::optional<storage::IoResult> result;
+  store.read("obj", [&](const storage::IoResult& r) { result = r; });
+  sim.run_while_pending([&] { return result.has_value(); });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->status.is_ok());
+  EXPECT_FALSE(store.cache().contains("obj"));
+}
+
+// --- HSM integration ----------------------------------------------------------
+
+struct HsmFixture {
+  sim::Simulator sim;
+  storage::DiskArray disk;
+  storage::TapeLibrary tape;
+  storage::HsmStore hsm;
+
+  explicit HsmFixture(Bytes read_cache_capacity)
+      : disk(sim, disk_config()), tape(sim, tape_config()),
+        hsm(sim, disk, tape, hsm_config(read_cache_capacity)) {}
+
+  static storage::DiskArrayConfig disk_config() {
+    storage::DiskArrayConfig config;
+    config.name = "staging";
+    config.capacity = 1_GB;
+    return config;
+  }
+  static storage::TapeConfig tape_config() {
+    storage::TapeConfig config;
+    config.drive_count = 2;
+    config.cartridge_count = 10;
+    config.cartridge_capacity = 10_GB;
+    return config;
+  }
+  static storage::HsmConfig hsm_config(Bytes read_cache_capacity) {
+    storage::HsmConfig config;
+    config.migrate_after = 10_min;
+    config.scan_period = 5_min;
+    config.read_cache.capacity = read_cache_capacity;
+    return config;
+  }
+
+  // Archive three 300 MB objects and let migration + watermark eviction
+  // push the coldest ("obj-0") to tape-only residency.
+  void archive_and_age() {
+    hsm.start();
+    for (int i = 0; i < 3; ++i) {
+      hsm.put("obj-" + std::to_string(i), 300_MB, nullptr);
+      sim.run_until(sim.now() + 1_min);
+    }
+    sim.run_until(sim.now() + 1_h);
+    EXPECT_TRUE(hsm.on_tape("obj-0"));
+    EXPECT_FALSE(hsm.on_disk("obj-0"));
+  }
+
+  storage::IoResult get(const std::string& object) {
+    std::optional<storage::IoResult> result;
+    hsm.get(object, [&](const storage::IoResult& r) { result = r; });
+    sim.run_while_pending([&] { return result.has_value(); });
+    EXPECT_TRUE(result.has_value());
+    return *result;
+  }
+};
+
+TEST(HsmReadCache, WarmReadSkipsTheTapeRestage) {
+  HsmFixture f(2_GB);
+  f.archive_and_age();
+  const storage::IoResult cold = f.get("obj-0");
+  EXPECT_TRUE(cold.status.is_ok());
+  EXPECT_EQ(f.hsm.stats().tape_stages, 1);
+
+  const storage::IoResult warm = f.get("obj-0");
+  EXPECT_TRUE(warm.status.is_ok());
+  EXPECT_EQ(f.hsm.stats().tape_stages, 1);  // no second stage
+  EXPECT_LT(warm.duration(), cold.duration());
+  EXPECT_EQ(f.hsm.read_cache()->cache().stats().hits, 1);
+}
+
+TEST(HsmReadCache, ForgetDropsTheCachedCopy) {
+  HsmFixture f(2_GB);
+  f.archive_and_age();
+  (void)f.get("obj-1");
+  EXPECT_TRUE(f.hsm.read_cache()->cache().contains("obj-1"));
+  ASSERT_TRUE(f.hsm.forget("obj-1").is_ok());
+  EXPECT_FALSE(f.hsm.read_cache()->cache().contains("obj-1"));
+}
+
+// The monitor double-count regression: bytes served by a cache hit must be
+// attributed to the cache tier ONLY — the backing DiskArray's byte counters
+// must not move for the same read.
+TEST(HsmReadCache, ServedBytesAreAttributedToExactlyOneTier) {
+  HsmFixture f(2_GB);
+  f.archive_and_age();
+  (void)f.get("obj-0");  // cold: disk + tape do the work
+  const Bytes disk_read_after_cold = f.disk.bytes_read();
+  const Bytes cache_served_after_cold = f.hsm.read_cache()->bytes_served();
+  EXPECT_EQ(cache_served_after_cold, Bytes::zero());
+
+  const storage::IoResult warm = f.get("obj-0");
+  EXPECT_TRUE(warm.status.is_ok());
+  // The warm read moved 300 MB — all of it attributed to the cache tier.
+  EXPECT_EQ(f.disk.bytes_read(), disk_read_after_cold);
+  EXPECT_EQ(f.hsm.read_cache()->bytes_served(), 300_MB);
+  const auto& registry = obs::MetricsRegistry::global();
+  EXPECT_GE(registry.counter_value("lsdf_cache_served_bytes_total",
+                                   {{"cache", "hsm-read"}}),
+            300_MB .as_double());
+}
+
+TEST(HsmReadCache, DisabledByDefault) {
+  HsmFixture f(Bytes::zero());
+  EXPECT_EQ(f.hsm.read_cache(), nullptr);
+  f.archive_and_age();
+  (void)f.get("obj-0");
+  (void)f.get("obj-0");
+  EXPECT_GE(f.hsm.stats().disk_hits + f.hsm.stats().tape_stages +
+                f.hsm.stats().tape_direct_reads,
+            2);
+}
+
+// --- Fault injection: caches lose their contents and refill -------------------
+
+TEST(FaultInjection, CacheFaultDropsEntriesAndTheCacheRefills) {
+  HsmFixture f(2_GB);
+  f.archive_and_age();
+  (void)f.get("obj-0");
+  auto& cache = f.hsm.read_cache()->cache();
+  EXPECT_EQ(cache.entry_count(), 1u);
+
+  fault::FaultInjector injector(f.sim, 7);
+  injector.register_cache("hsm-read-cache", cache);
+  ASSERT_TRUE(
+      injector.schedule_fault("hsm-read-cache", f.sim.now() + 1_min, 5_min)
+          .is_ok());
+  f.sim.run_until(f.sim.now() + 2_min);
+  EXPECT_EQ(cache.entry_count(), 0u);  // contents lost with the node
+  EXPECT_GT(cache.stats().invalidations, 0);
+
+  // The directory survives: the next read misses, falls through to the
+  // tiers (the staged disk copy is still there) and refills the cache.
+  const std::int64_t misses_before = cache.stats().misses;
+  const storage::IoResult refill = f.get("obj-0");
+  EXPECT_TRUE(refill.status.is_ok());
+  EXPECT_GT(cache.stats().misses, misses_before);
+  EXPECT_EQ(cache.entry_count(), 1u);
+  f.sim.run_until(f.sim.now() + 10_min);  // recovery is a no-op
+  EXPECT_EQ(injector.recovered(), 1);
+}
+
+// --- DFS block cache ----------------------------------------------------------
+
+struct DfsFixture {
+  sim::Simulator sim;
+  dfs::ClusterLayout layout;
+  net::TransferEngine net;
+  dfs::DfsCluster dfs_cluster;
+  std::vector<dfs::DataNodeId> datanodes;
+
+  DfsFixture()
+      : layout(dfs::build_cluster_layout(make_layout())),
+        net(sim, layout.topology),
+        dfs_cluster(sim, layout.topology, net, make_config()),
+        datanodes(dfs::register_datanodes(dfs_cluster, layout)) {}
+
+  static dfs::ClusterLayoutConfig make_layout() {
+    dfs::ClusterLayoutConfig config;
+    config.racks = 2;
+    config.nodes_per_rack = 3;
+    return config;
+  }
+  static dfs::DfsConfig make_config() {
+    dfs::DfsConfig config;
+    config.block_size = 64_MB;
+    config.datanode_capacity = 10_GB;
+    config.block_cache.capacity = 1_GB;
+    return config;
+  }
+
+  dfs::DfsIoResult read(dfs::BlockId id) {
+    std::optional<dfs::DfsIoResult> result;
+    dfs_cluster.read_block(id, layout.headnode,
+                           [&](const dfs::DfsIoResult& r) { result = r; });
+    sim.run_while_pending([&] { return result.has_value(); });
+    EXPECT_TRUE(result.has_value());
+    return *result;
+  }
+};
+
+TEST(DfsBlockCache, WarmBlockReadsAreCacheHitsAndNodeLocal) {
+  DfsFixture f;
+  std::optional<dfs::DfsIoResult> written;
+  f.dfs_cluster.write_file("/data/a", 128_MB, f.layout.headnode,
+                           [&](const dfs::DfsIoResult& r) { written = r; });
+  f.sim.run();
+  ASSERT_TRUE(written && written->status.is_ok());
+  const dfs::FileInfo info = f.dfs_cluster.stat("/data/a").value();
+
+  const dfs::DfsIoResult cold = f.read(info.blocks[0]);
+  EXPECT_TRUE(cold.status.is_ok());
+  const dfs::DfsIoResult warm = f.read(info.blocks[0]);
+  EXPECT_TRUE(warm.status.is_ok());
+  EXPECT_LT(warm.duration(), cold.duration());
+  EXPECT_EQ(warm.locality, dfs::Locality::kNodeLocal);
+  EXPECT_EQ(f.dfs_cluster.block_cache()->cache().stats().hits, 1);
+}
+
+TEST(DfsBlockCache, RemoveAndDatanodeFailureInvalidateCachedBlocks) {
+  DfsFixture f;
+  std::optional<dfs::DfsIoResult> written;
+  f.dfs_cluster.write_file("/data/a", 128_MB, f.layout.headnode,
+                           [&](const dfs::DfsIoResult& r) { written = r; });
+  f.sim.run();
+  ASSERT_TRUE(written && written->status.is_ok());
+  const dfs::FileInfo info = f.dfs_cluster.stat("/data/a").value();
+  for (const dfs::BlockId id : info.blocks) (void)f.read(id);
+  auto& cache = f.dfs_cluster.block_cache()->cache();
+  EXPECT_EQ(cache.entry_count(), info.blocks.size());
+
+  // A datanode failure drops the cached copies of every block it held:
+  // conservative revalidation while re-replication runs.
+  const dfs::DataNodeId failed =
+      f.dfs_cluster.block_replicas(info.blocks[0]).front();
+  ASSERT_TRUE(f.dfs_cluster.fail_datanode(failed).is_ok());
+  EXPECT_FALSE(cache.contains(std::to_string(info.blocks[0])));
+
+  // Removing the file drops whatever was still cached.
+  f.sim.run();  // let re-replication settle
+  ASSERT_TRUE(f.dfs_cluster.remove("/data/a").is_ok());
+  EXPECT_EQ(cache.entry_count(), 0u);
+}
+
+// --- DataBrowser query cache --------------------------------------------------
+
+struct BrowserFixture {
+  core::Facility facility{core::small_facility_config()};
+  core::DataBrowser browser{facility.simulator(), facility.metadata(),
+                            facility.adal(),
+                            facility.service_credentials()};
+
+  BrowserFixture() {
+    EXPECT_TRUE(facility.metadata().create_project("htm", {}).is_ok());
+  }
+
+  meta::DatasetId ingest_one(const std::string& name) {
+    ingest::IngestItem item;
+    item.project = "htm";
+    item.dataset_name = name;
+    item.size = 4_MB;
+    item.source = facility.daq_node();
+    std::optional<ingest::IngestReport> report;
+    facility.ingest().submit(std::move(item),
+                             [&](const ingest::IngestReport& r) {
+                               report = r;
+                             });
+    facility.simulator().run_while_pending(
+        [&] { return report.has_value(); });
+    EXPECT_TRUE(report && report->status.is_ok());
+    return report ? report->dataset : 0;
+  }
+};
+
+TEST(BrowserQueryCache, RepeatSearchesHitUntilTheCatalogueMutates) {
+  BrowserFixture f;
+  f.ingest_one("frame-1");
+  f.ingest_one("frame-2");
+  const meta::Query query = meta::Query().in_project("htm");
+  const auto first = f.browser.search(query);
+  EXPECT_EQ(first.size(), 2u);
+  const std::int64_t misses = f.browser.query_cache_misses();
+  const auto second = f.browser.search(query);
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(f.browser.query_cache_hits(), 1);
+  EXPECT_EQ(f.browser.query_cache_misses(), misses);  // no recompute
+
+  // Ingest mutates the catalogue: the next search recomputes and sees the
+  // new dataset (never a stale hit).
+  f.ingest_one("frame-3");
+  const auto third = f.browser.search(query);
+  EXPECT_EQ(third.size(), 3u);
+  EXPECT_EQ(f.browser.query_cache_misses(), misses + 1);
+}
+
+TEST(BrowserQueryCache, DownloadsDoNotInvalidate) {
+  BrowserFixture f;
+  const meta::DatasetId id = f.ingest_one("frame-1");
+  const meta::Query query = meta::Query().in_project("htm");
+  (void)f.browser.search(query);
+  const std::int64_t misses = f.browser.query_cache_misses();
+
+  std::optional<storage::IoResult> downloaded;
+  f.browser.download(id, [&](const storage::IoResult& r) {
+    downloaded = r;
+  });
+  f.facility.simulator().run_while_pending(
+      [&] { return downloaded.has_value(); });
+  ASSERT_TRUE(downloaded && downloaded->status.is_ok());
+
+  // note_access() recorded usage but did not bump the catalogue version.
+  (void)f.browser.search(query);
+  EXPECT_EQ(f.browser.query_cache_misses(), misses);
+  EXPECT_GE(f.browser.query_cache_hits(), 1);
+}
+
+TEST(QueryCacheKey, StableAcrossBuilderOrderAndTypeAware) {
+  const std::string ab = meta::cache_key(
+      meta::Query().in_project("p").with_tag("a").with_tag("b"));
+  const std::string ba = meta::cache_key(
+      meta::Query().in_project("p").with_tag("b").with_tag("a"));
+  EXPECT_EQ(ab, ba);
+
+  // Same display text, different value types: distinct keys.
+  const std::string as_int = meta::cache_key(meta::Query().where(
+      "n", meta::CompareOp::kEq, meta::AttrValue{std::int64_t{1}}));
+  const std::string as_text = meta::cache_key(meta::Query().where(
+      "n", meta::CompareOp::kEq, meta::AttrValue{std::string{"1"}}));
+  EXPECT_NE(as_int, as_text);
+
+  EXPECT_NE(meta::cache_key(meta::Query().in_project("p").limit(5)),
+            meta::cache_key(meta::Query().in_project("p").limit(6)));
+}
+
+TEST(LookupCache, EvictsLeastRecentlyUsedAtCapacity) {
+  LookupCache<int> cache(2, "unit");
+  cache.put("a", 1);
+  cache.put("b", 2);
+  ASSERT_NE(cache.find("a"), nullptr);  // refresh "a"
+  cache.put("c", 3);
+  EXPECT_EQ(cache.find("b"), nullptr);
+  ASSERT_NE(cache.find("a"), nullptr);
+  EXPECT_EQ(*cache.find("c"), 3);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+}  // namespace
+}  // namespace lsdf::cache

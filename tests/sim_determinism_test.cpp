@@ -15,9 +15,11 @@
 #include <vector>
 
 #include "chk/replay.h"
+#include "common/rng.h"
 #include "net/topology.h"
 #include "net/transfer_engine.h"
 #include "sim/simulator.h"
+#include "storage/hsm_store.h"
 
 namespace lsdf {
 namespace {
@@ -109,6 +111,64 @@ TEST(Determinism, SharedBottleneckTransfersReplay) {
     const ReplayReport report = chk::replay_check(transfer_scenario, seed);
     EXPECT_TRUE(report.deterministic()) << report.describe();
   }
+}
+
+// HSM archive + seeded recall campaign, with or without the lsdf::cache
+// read cache in front. With the cache enabled, every hit/miss/eviction
+// decision feeds the event stream (hit service events, skipped stage-ins),
+// so any unordered iteration or address-derived state inside lsdf::cache
+// would surface here as a fingerprint divergence.
+ReplayOutcome hsm_scenario(std::uint64_t seed, bool cached) {
+  sim::Simulator sim;
+  storage::DiskArrayConfig disk_config;
+  disk_config.capacity = 1_GB;
+  storage::DiskArray disk(sim, disk_config);
+  storage::TapeConfig tape_config;
+  tape_config.drive_count = 2;
+  tape_config.cartridge_count = 10;
+  tape_config.cartridge_capacity = 10_GB;
+  storage::TapeLibrary tape(sim, tape_config);
+  storage::HsmConfig hsm_config;
+  hsm_config.migrate_after = 10_min;
+  hsm_config.scan_period = 5_min;
+  if (cached) hsm_config.read_cache.capacity = 600_MB;  // forces evictions
+  storage::HsmStore hsm(sim, disk, tape, hsm_config);
+  hsm.start();
+  for (int i = 0; i < 8; ++i) {
+    hsm.put("run-" + std::to_string(i), 100_MB, nullptr);
+    sim.run_until(sim.now() + 2_min);
+  }
+  sim.run_until(sim.now() + 1_h);  // migrate; watermark eviction
+  Rng rng(seed);
+  int pending = 0;
+  for (int i = 0; i < 20; ++i) {
+    ++pending;
+    hsm.get("run-" + std::to_string(rng.index(8)),
+            [&pending](const storage::IoResult&) { --pending; });
+    if (i % 4 == 3) sim.run_until(sim.now() + 1_min);
+  }
+  sim.run_while_pending([&] { return pending == 0; });
+  hsm.stop();
+  return chk::outcome_of(sim);
+}
+
+TEST(Determinism, HsmWithoutReadCacheReplays) {
+  for (const std::uint64_t seed : {1ULL, 99ULL}) {
+    const ReplayReport report = chk::replay_check(
+        [](std::uint64_t s) { return hsm_scenario(s, false); }, seed);
+    EXPECT_TRUE(report.deterministic()) << report.describe();
+  }
+}
+
+TEST(Determinism, HsmWithReadCacheReplays) {
+  for (const std::uint64_t seed : {1ULL, 99ULL}) {
+    const ReplayReport report = chk::replay_check(
+        [](std::uint64_t s) { return hsm_scenario(s, true); }, seed);
+    EXPECT_TRUE(report.deterministic()) << report.describe();
+  }
+  // And caching must actually change the execution, not be a no-op.
+  EXPECT_NE(hsm_scenario(1, true).fingerprint,
+            hsm_scenario(1, false).fingerprint);
 }
 
 TEST(Determinism, DistinctSeedsDiverge) {

@@ -23,6 +23,12 @@ Rules (see DESIGN.md "Correctness tooling"):
 
   require-msg   Every LSDF_REQUIRE / LSDF_DCHECK carries a non-empty
                 message: a contract failure must explain itself.
+
+  doc-coverage  Every public header under src/ opens with a `//!` module
+                comment (first non-blank line) saying what the module is
+                and why, and every src/<subsystem>/ directory is named in
+                DESIGN.md — a subsystem that is not in the design document
+                does not exist as far as reviewers are concerned.
 """
 
 from __future__ import annotations
@@ -116,8 +122,41 @@ def last_argument(text: str, open_paren: int) -> tuple[str, int] | None:
     return None
 
 
+def check_doc_coverage(rel: str, raw: str, findings: list[str]) -> None:
+    """src headers must open with a `//!` module doc comment."""
+    for line in raw.splitlines():
+        if not line.strip():
+            continue
+        if not line.startswith("//!"):
+            findings.append(
+                f"{rel}:1: [doc-coverage] src header must open with a "
+                f"`//!` module comment (what the module is and why)"
+            )
+        return
+    findings.append(f"{rel}:1: [doc-coverage] empty header")
+
+
+def check_design_inventory(findings: list[str]) -> None:
+    """Every src subsystem directory must be named in DESIGN.md."""
+    design_path = REPO / "DESIGN.md"
+    if not design_path.is_file():
+        findings.append("DESIGN.md:1: [doc-coverage] DESIGN.md is missing")
+        return
+    design = design_path.read_text(encoding="utf-8")
+    for subsystem in sorted(p.name for p in (REPO / "src").iterdir()
+                            if p.is_dir()):
+        if not re.search(rf"\b{re.escape(subsystem)}/", design):
+            findings.append(
+                f"DESIGN.md:1: [doc-coverage] subsystem src/{subsystem}/ "
+                f"is not mentioned in DESIGN.md — document it"
+            )
+
+
 def check_file(rel: str, raw: str, findings: list[str]) -> None:
     code = strip_comments(raw)
+
+    if rel.startswith("src/") and rel.endswith(".h"):
+        check_doc_coverage(rel, raw, findings)
 
     if rel not in DETERMINISM_ALLOWLIST:
         for pattern, label in DETERMINISM_PATTERNS:
@@ -168,6 +207,7 @@ def main() -> int:
             rel = path.relative_to(REPO).as_posix()
             check_file(rel, path.read_text(encoding="utf-8"), findings)
             scanned += 1
+    check_design_inventory(findings)
     for finding in findings:
         print(finding)
     print(
