@@ -1,0 +1,188 @@
+//! Move-only callable with small-buffer-optimised storage — the event
+//! kernel's callback type.
+//!
+//! Every simulated event stores one callable, so callback storage is the
+//! single hottest allocation site in the repo. std::function heap-allocates
+//! any capture list beyond ~16 bytes (libstdc++'s SBO), which real model
+//! callbacks — an object pointer plus a few ids/sizes/timestamps — exceed
+//! routinely. InlineCallback keeps captures up to kInlineBytes inline in the
+//! event slot, falls back to a single heap allocation above that, and counts
+//! every fallback in the `lsdf_sim_callback_heap_total` metric so an
+//! accidentally fat capture list shows up in any bench's metrics digest
+//! instead of silently re-slowing the kernel (DESIGN.md §5b).
+//!
+//! Unlike std::function it is move-only (no copyable-callable requirement,
+//! so captured move-only state is fine) and its moves are noexcept: the
+//! kernel hands callables into event slots by move on its hot path, which
+//! must not be interruptible by exceptions — true of every capture list in
+//! this codebase.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/require.h"
+#include "obs/metrics.h"
+
+namespace lsdf::sim {
+
+class InlineCallback {
+ public:
+  // Sized for the capture lists facility models actually use: an object
+  // pointer plus up to seven 64-bit values. Raising this enlarges every
+  // event slot; shrinking it turns model callbacks into heap fallbacks —
+  // watch lsdf_sim_callback_heap_total before changing it.
+  static constexpr std::size_t kInlineBytes = 64;
+
+  InlineCallback() noexcept = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::function.
+  InlineCallback(std::nullptr_t) noexcept {}
+
+  // Wrap any void() callable. Intentionally implicit, like std::function,
+  // so call sites keep passing lambdas to schedule_at()/acquire().
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineCallback> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  InlineCallback(F&& fn) {
+    emplace(std::forward<F>(fn));
+  }
+
+  // Construct a callable directly into this InlineCallback's storage,
+  // destroying any current one. The kernel's schedule path uses this to
+  // build the callable in its event slot in one go, with no intermediate
+  // InlineCallback to relocate from.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineCallback> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  void emplace(F&& fn) {
+    reset();
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = &kHeapOps<Fn>;
+      heap_fallback_metric().add(1);
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  void operator()() {
+    LSDF_DCHECK(ops_ != nullptr, "invoking an empty InlineCallback");
+    ops_->invoke(storage_);
+  }
+
+  // Invoke the callable and destroy it in a single type-erased hop, leaving
+  // *this empty. The dispatch loop always destroys a callback right after
+  // firing it; fusing the two saves one indirect call per event.
+  void invoke_and_reset() {
+    LSDF_DCHECK(ops_ != nullptr, "invoking an empty InlineCallback");
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    ops->invoke_destroy(storage_);
+  }
+
+  // Destroy the held callable (no-op when empty).
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+  friend bool operator==(const InlineCallback& callback,
+                         std::nullptr_t) noexcept {
+    return callback.ops_ == nullptr;
+  }
+
+  // Whether the held callable lives on the heap (capture > kInlineBytes).
+  [[nodiscard]] bool heap_allocated() const noexcept {
+    return ops_ != nullptr && ops_->heap;
+  }
+
+ private:
+  // Manual vtable: one static Ops per wrapped type, so an InlineCallback is
+  // just (storage, ops pointer) with no RTTI or virtual dispatch.
+  struct Ops {
+    void (*invoke)(void* storage);
+    void (*invoke_destroy)(void* storage);
+    // Move-construct dst's storage from src's and destroy src's callable.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+    bool heap;
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      [](void* storage) { (*static_cast<Fn*>(storage))(); },
+      [](void* storage) {
+        Fn* fn = static_cast<Fn*>(storage);
+        (*fn)();
+        fn->~Fn();
+      },
+      [](void* dst, void* src) {
+        Fn& from = *static_cast<Fn*>(src);
+        ::new (dst) Fn(std::move(from));
+        from.~Fn();
+      },
+      [](void* storage) { static_cast<Fn*>(storage)->~Fn(); },
+      false,
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps{
+      [](void* storage) { (**static_cast<Fn**>(storage))(); },
+      [](void* storage) {
+        Fn* fn = *static_cast<Fn**>(storage);
+        (*fn)();
+        delete fn;
+      },
+      [](void* dst, void* src) {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+      },
+      [](void* storage) { delete *static_cast<Fn**>(storage); },
+      true,
+  };
+
+  static obs::Counter& heap_fallback_metric() {
+    static obs::Counter& counter =
+        obs::MetricsRegistry::global().counter("lsdf_sim_callback_heap_total");
+    return counter;
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace lsdf::sim

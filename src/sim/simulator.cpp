@@ -13,50 +13,163 @@ Simulator::Simulator()
           "lsdf_sim_event_lag_seconds",
           obs::Histogram::exponential_bounds(1e-6, 10.0, 12))) {}
 
+void Simulator::heap_pop() {
+  const QueueEntry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t size = heap_.size();
+  if (size == 0) return;
+  const QueueEntry* data = heap_.data();
+  std::size_t hole = 0;
+  for (;;) {
+    const std::size_t child = (hole << 2) + 1;
+    std::size_t best;
+    if (child + 4 <= size) {
+      // Full node: min-of-4 as a conditional-move tournament. The keys are
+      // a strict total order (seq is unique), so tournament shape cannot
+      // change which entry wins.
+      const std::size_t left =
+          earlier(data[child + 1], data[child]) ? child + 1 : child;
+      const std::size_t right =
+          earlier(data[child + 3], data[child + 2]) ? child + 3 : child + 2;
+      best = earlier(data[right], data[left]) ? right : left;
+    } else {
+      if (child >= size) break;
+      best = child;
+      for (std::size_t at = child + 1; at < size; ++at) {
+        if (earlier(data[at], data[best])) best = at;
+      }
+    }
+    if (!earlier(data[best], last)) break;
+    heap_[hole] = data[best];
+    hole = best;
+  }
+  heap_[hole] = last;
+}
+
+std::uint32_t Simulator::grow_slot() {
+  if ((slot_count_ & (kChunkSize - 1)) == 0) {
+    LSDF_REQUIRE(slot_count_ + kChunkSize <= EventId::kNilIndex,
+                 "event slab exhausted the 32-bit index space");
+    chunks_.emplace_back(std::make_unique<Slot[]>(kChunkSize));
+  }
+  return slot_count_++;
+}
+
 EventId Simulator::schedule_at(SimTime t, Callback callback) {
   LSDF_REQUIRE(t >= now_, "cannot schedule an event in the simulated past");
   LSDF_DCHECK(callback != nullptr, "null event callback");
-  const std::uint64_t id = next_id_++;
-  queue_.push(QueueEntry{t, next_seq_++, id, now_});
-  callbacks_.emplace(id, std::move(callback));
+  const std::uint32_t index = acquire_slot_index();
+  Slot& slot = slot_at(index);
+  slot.callback = std::move(callback);
+  slot.enqueued = now_;
+  queue_push(QueueEntry{t, next_seq_++, index, slot.generation});
   ++live_events_;
-  return EventId{id};
+  return EventId{index, slot.generation};
 }
 
 bool Simulator::cancel(EventId id) {
-  const auto erased = callbacks_.erase(id.value);
-  if (erased > 0) --live_events_;
-  return erased > 0;
+  if (id.index >= slot_count_) return false;
+  Slot& slot = slot_at(id.index);
+  if (slot.generation != id.generation) {
+    return false;  // already fired, cancelled, or slot since recycled
+  }
+  slot.callback.reset();
+  // Every outstanding EventId for this tenancy goes stale; the queue entry
+  // stays behind and is discarded lazily by settle_top().
+  ++slot.generation;
+  slot.next_free = free_head_;
+  free_head_ = id.index;
+  --live_events_;
+  return true;
+}
+
+std::size_t Simulator::free_slots() const {
+  std::size_t count = 0;
+  for (std::uint32_t at = free_head_; at != EventId::kNilIndex;
+       at = slot_at(at).next_free) {
+    ++count;
+  }
+  return count;
+}
+
+void Simulator::flush_observability() {
+  if (executed_ != reported_events_) {
+    events_metric_.add(static_cast<std::int64_t>(executed_ - reported_events_));
+    reported_events_ = executed_;
+  }
+  queue_depth_metric_.set(static_cast<double>(live_events_));
 }
 
 bool Simulator::settle_top() {
-  while (!queue_.empty() && !callbacks_.contains(queue_.top().id)) {
-    queue_.pop();  // lazily discard cancelled events
+  for (;;) {
+    const bool in_fifo = fifo_head_ < fifo_.size();
+    bool from_fifo;
+    if (in_fifo && !heap_.empty()) {
+      // Both lanes occupied: the global minimum is whichever head is
+      // earlier under the same (time, seq) total order the heap uses.
+      from_fifo = !earlier(heap_.front(), fifo_[fifo_head_]);
+    } else if (in_fifo || !heap_.empty()) {
+      from_fifo = in_fifo;
+    } else {
+      return false;
+    }
+    const QueueEntry& top =
+        from_fifo ? fifo_[fifo_head_] : heap_.front();
+    if (slot_at(top.index).generation == top.generation) {
+      top_from_fifo_ = from_fifo;
+      return true;
+    }
+    // Lazily discard the cancelled entry from its lane.
+    if (from_fifo) {
+      fifo_advance();
+    } else {
+      heap_pop();
+    }
   }
-  return !queue_.empty();
 }
 
-bool Simulator::step() {
-  if (!settle_top()) return false;
-  const QueueEntry entry = queue_.top();
-  queue_.pop();
-  const auto it = callbacks_.find(entry.id);
-  LSDF_DCHECK(it != callbacks_.end(),
-              "settle_top() left a cancelled event at the queue head");
-  Callback callback = std::move(it->second);
-  callbacks_.erase(it);
+void Simulator::dispatch_top() {
+  const QueueEntry entry = queue_top();
+  queue_pop_top();
+  Slot& slot = slot_at(entry.index);
+  LSDF_DCHECK(slot.generation == entry.generation,
+              "dispatch_top() on a cancelled event — settle_top() not run?");
+  // Stale-ify the slot before invoking: a cancel() of this event from inside
+  // its own callback returns false instead of double-freeing, and because
+  // the slot joins the free list only after the callback returns, no
+  // schedule() from inside it can recycle the storage it is executing in.
+  ++slot.generation;
   --live_events_;
   now_ = entry.time;
   ++executed_;
   // Execution fingerprint: order-sensitive, so identical digests mean the
-  // identical dispatch sequence (id, time, seq) — the determinism check.
-  fingerprint_.fold(entry.id);
+  // identical dispatch sequence. Folds (seq + 1, time, seq) — the pre-slab
+  // kernel folded (id, time, seq) with ids counting from 1 per schedule
+  // call, i.e. id == seq + 1, so digests are byte-identical across the
+  // slab rewrite (pinned by Determinism.KernelFingerprintPinned).
+  fingerprint_.fold(entry.seq + 1);
   fingerprint_.fold(static_cast<std::uint64_t>(entry.time.nanos()));
   fingerprint_.fold(entry.seq);
-  events_metric_.add(1);
-  queue_depth_metric_.set(static_cast<double>(live_events_));
-  event_lag_metric_.observe((entry.time - entry.enqueued).seconds());
-  callback();
+  // Telemetry is batched/sampled on a 64-event cadence (exact again at every
+  // drain/deadline flush) — see the field comment in simulator.h.
+  if ((executed_ & (kObsSamplePeriod - 1)) == 0) {
+    flush_observability();
+    event_lag_metric_.observe((entry.time - slot.enqueued).seconds());
+  }
+  // Run the callback in place in its (stable-address) slot: dispatch moves
+  // no callable state, and invoke+destroy share one type-erased hop.
+  // Recycle the slot only once it returns.
+  slot.callback.invoke_and_reset();
+  slot.next_free = free_head_;
+  free_head_ = entry.index;
+}
+
+bool Simulator::step() {
+  if (!settle_top()) {
+    flush_observability();
+    return false;
+  }
+  dispatch_top();
   return true;
 }
 
@@ -69,19 +182,15 @@ std::size_t Simulator::run() {
 std::size_t Simulator::run_until(SimTime deadline) {
   LSDF_REQUIRE(deadline >= now_, "run_until into the simulated past");
   std::size_t executed = 0;
-  while (settle_top() && queue_.top().time <= deadline) {
-    step();
+  // One queue-head settle per iteration serves both the deadline check and
+  // the dispatch (step() would redo the settle it just did).
+  while (settle_top() && queue_top().time <= deadline) {
+    dispatch_top();
     ++executed;
   }
   now_ = deadline;
+  flush_observability();
   return executed;
-}
-
-bool Simulator::run_while_pending(const std::function<bool()>& done) {
-  while (!done()) {
-    if (!step()) return false;
-  }
-  return true;
 }
 
 void Resource::acquire(std::int64_t units, Simulator::Callback granted) {
@@ -105,13 +214,21 @@ void Resource::pump() {
   // Strict FIFO: a large request at the head blocks smaller ones behind it,
   // matching how the facility's batch queues behave (no starvation).
   while (!waiters_.empty() && waiters_.front().units <= available()) {
-    Waiter waiter = std::move(waiters_.front());
-    waiters_.pop_front();
-    in_use_ += waiter.units;
+    in_use_ += waiters_.front().units;
     // Deliver the grant as a fresh event so callers never re-enter each
-    // other's stack frames.
-    simulator_.schedule_after(SimDuration::zero(), std::move(waiter.granted));
+    // other's stack frames. The waiter's callback moves straight from the
+    // deque slot into the event slot — no intermediate Waiter copy.
+    simulator_.schedule_after(SimDuration::zero(),
+                              std::move(waiters_.front().granted));
+    waiters_.pop_front();
   }
+}
+
+void PeriodicTask::arm(SimTime at) {
+  // A one-pointer capture: always inline in the event slot, so periodic
+  // ticks are allocation-free; the stored tick_ callable is reused across
+  // every firing rather than re-wrapped.
+  pending_ = simulator_.schedule_at(at, [this] { fire(); });
 }
 
 void PeriodicTask::start_at(SimTime first_fire, SimTime end) {
@@ -122,7 +239,7 @@ void PeriodicTask::start_at(SimTime first_fire, SimTime end) {
     running_ = false;
     return;
   }
-  pending_ = simulator_.schedule_at(first_fire, [this] { fire(); });
+  arm(first_fire);
 }
 
 void PeriodicTask::stop() {
@@ -141,7 +258,7 @@ void PeriodicTask::fire() {
     running_ = false;
     return;
   }
-  pending_ = simulator_.schedule_at(next, [this] { fire(); });
+  arm(next);
 }
 
 }  // namespace lsdf::sim

@@ -5,34 +5,50 @@
 //! one Simulator. The kernel is deliberately single-threaded: determinism is
 //! a design requirement (DESIGN.md §5), so events at equal timestamps execute
 //! in scheduling order (FIFO tie-break by sequence number).
+//!
+//! Hot-path layout (DESIGN.md §5b): pending events live in a slab of
+//! recyclable slots addressed by {index, generation} — schedule and cancel
+//! are O(1) slot operations with no per-event heap allocation (callbacks are
+//! sim::InlineCallback, stored inline in the slot) and no hash-map traffic.
+//! Slots live in fixed 256-slot chunks whose addresses never move, so a
+//! dispatched callback runs in place instead of being copied out. The ready
+//! queue is two lanes — a monotone FIFO lane that turns in-time-order
+//! scheduling (the overwhelmingly common case) into O(1) pointer bumps, and
+//! a 4-ary implicit heap of 24-byte entries for out-of-order schedules —
+//! with cancelled events discarded lazily via a generation mismatch.
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <functional>
-#include <queue>
+#include <functional>  // std::hash only — no std::function in the kernel
+#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "chk/fingerprint.h"
 #include "common/require.h"
 #include "common/units.h"
 #include "obs/metrics.h"
+#include "sim/inline_callback.h"
 
 namespace lsdf::sim {
 
 // Handle for a scheduled event; usable to cancel it before it fires.
-// Hashable (std::hash specialisation below), so model code can key
-// unordered maps by pending event.
+// {slot index, slot generation}: the generation is bumped every time a slot's
+// tenancy ends, so a stale handle to a fired/cancelled event can never cancel
+// the unrelated event that now occupies the same slot (ABA safety; the guard
+// window is 2^32 reuses of one slot). Hashable (std::hash specialisation
+// below), so model code can key unordered maps by pending event.
 struct EventId {
-  std::uint64_t value = 0;
+  static constexpr std::uint32_t kNilIndex = 0xffffffffU;
+  std::uint32_t index = kNilIndex;
+  std::uint32_t generation = 0;
   friend bool operator==(EventId, EventId) = default;
 };
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   Simulator();
   Simulator(const Simulator&) = delete;
@@ -43,13 +59,40 @@ class Simulator {
   // Schedule `callback` at absolute simulated time `t` (>= now()).
   EventId schedule_at(SimTime t, Callback callback);
 
+  // Schedule a raw callable at `t`: constructs it directly inside the event
+  // slot (InlineCallback::emplace), so a lambda passed here is materialised
+  // exactly once with no intermediate wrapper to relocate. Lambdas take
+  // this overload automatically; an already-built Callback takes the one
+  // above.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineCallback> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  EventId schedule_at(SimTime t, F&& fn) {
+    LSDF_REQUIRE(t >= now_, "cannot schedule an event in the simulated past");
+    const std::uint32_t index = acquire_slot_index();
+    Slot& slot = slot_at(index);
+    slot.callback.emplace(std::forward<F>(fn));
+    slot.enqueued = now_;
+    queue_push(QueueEntry{t, next_seq_++, index, slot.generation});
+    ++live_events_;
+    return EventId{index, slot.generation};
+  }
+
   // Schedule `callback` after `delay` (>= 0).
   EventId schedule_after(SimDuration delay, Callback callback) {
     return schedule_at(now_ + delay, std::move(callback));
   }
 
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineCallback> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  EventId schedule_after(SimDuration delay, F&& fn) {
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
+
   // Cancel a pending event. Returns false if it already fired or was
-  // cancelled before.
+  // cancelled before (including when the slot has since been recycled for
+  // a newer event — the generation check).
   bool cancel(EventId id);
 
   // Execute the next pending event, advancing the clock to its timestamp.
@@ -63,12 +106,26 @@ class Simulator {
   // `deadline` (even if the queue is non-empty or drained earlier).
   std::size_t run_until(SimTime deadline);
 
-  // Run until `pred()` becomes true (checked after each event) or the queue
+  // Run until `done()` becomes true (checked after each event) or the queue
   // drains; returns whether the predicate was satisfied.
-  bool run_while_pending(const std::function<bool()>& done);
+  template <typename Pred>
+  bool run_while_pending(Pred&& done) {
+    while (!done()) {
+      if (!step()) return false;
+    }
+    flush_observability();
+    return true;
+  }
 
   [[nodiscard]] std::size_t pending_events() const { return live_events_; }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+  // Slab introspection (tests and capacity diagnostics): total slots ever
+  // grown, and how many of them currently sit on the free list. Their
+  // difference must always equal pending_events(), except during a dispatch
+  // (the executing slot is neither live nor yet recycled).
+  [[nodiscard]] std::size_t slab_slots() const { return slot_count_; }
+  [[nodiscard]] std::size_t free_slots() const;
 
   // Order-sensitive digest of every event dispatched so far: step() folds
   // (event id, timestamp, seq) into an FNV-1a state. Two runs of the same
@@ -79,36 +136,148 @@ class Simulator {
   }
 
  private:
+  // One pending event. The callback lives inline here (no per-event heap
+  // allocation for captures <= InlineCallback::kInlineBytes); `generation`
+  // decides whether a queue entry or EventId still refers to this tenancy
+  // of the slot. Freed slots chain through `next_free`.
+  struct Slot {
+    Callback callback;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = EventId::kNilIndex;
+    SimTime enqueued;  // when schedule_at ran, for the queue-dwell metric
+  };
+
+  // 24 bytes: what the ready queue actually has to move around while
+  // sifting. Ordering is (time, seq) — strict total order because seq is
+  // unique, so dispatch order is independent of heap shape.
   struct QueueEntry {
     SimTime time;
     std::uint64_t seq;
-    std::uint64_t id;
-    SimTime enqueued;  // when schedule_at ran, for the queue-dwell metric
-    // Min-heap on (time, seq): earlier time first, FIFO within a timestamp.
-    friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    std::uint32_t index;
+    std::uint32_t generation;
   };
 
-  // Pops cancelled entries; returns whether a live event is at the top.
+  static bool earlier(const QueueEntry& a, const QueueEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  // 4-ary implicit min-heap: half the sift-down depth of a binary heap and
+  // children on one cache line, which is where dispatch time goes once
+  // nothing allocates. Any correct heap yields the identical pop order
+  // (the comparator is a strict total order), so heap arity is not a
+  // determinism concern. heap_push lives here so the templated schedule
+  // path inlines it at the call site.
+  void heap_push(const QueueEntry& entry) {
+    std::size_t hole = heap_.size();
+    heap_.push_back(entry);
+    while (hole > 0) {
+      const std::size_t parent = (hole - 1) >> 2;
+      if (!earlier(entry, heap_[parent])) break;
+      heap_[hole] = heap_[parent];
+      hole = parent;
+    }
+    heap_[hole] = entry;
+  }
+  void heap_pop();
+
+  // The ready queue is two lanes: the heap above, plus a monotone FIFO
+  // lane. Models overwhelmingly schedule in nondecreasing time order
+  // (self-rescheduling sources, timers, transfer completions at now + dt
+  // with steady dt); such entries append to `fifo_` — which therefore
+  // stays sorted by (time, seq), seq being monotone — and push/pop become
+  // O(1) pointer bumps instead of O(log n) sifts. An out-of-order entry
+  // falls back to the heap. The global minimum is the smaller of the two
+  // lane heads under the same strict total order, so the dispatch sequence
+  // is identical to a single-heap kernel, entry for entry.
+  void queue_push(const QueueEntry& entry) {
+    if (fifo_head_ == fifo_.size() || !earlier(entry, fifo_.back())) {
+      fifo_.push_back(entry);
+      return;
+    }
+    heap_push(entry);
+  }
+  [[nodiscard]] const QueueEntry& queue_top() const {
+    return top_from_fifo_ ? fifo_[fifo_head_] : heap_.front();
+  }
+  void queue_pop_top() {
+    if (top_from_fifo_) {
+      fifo_advance();
+    } else {
+      heap_pop();
+    }
+  }
+  // Advance the FIFO head, reclaiming consumed prefix space: free the whole
+  // vector when it empties, compact (one memmove, amortised O(1)) when the
+  // dead prefix dominates.
+  void fifo_advance() {
+    if (++fifo_head_ == fifo_.size()) {
+      fifo_.clear();
+      fifo_head_ = 0;
+    } else if (fifo_head_ >= kFifoCompactAt &&
+               fifo_head_ * 2 >= fifo_.size()) {
+      fifo_.erase(fifo_.begin(),
+                  fifo_.begin() + static_cast<std::ptrdiff_t>(fifo_head_));
+      fifo_head_ = 0;
+    }
+  }
+  static constexpr std::size_t kFifoCompactAt = 4096;
+
+  // Pop a slot off the free list; grow_slot() (out of line — cold) takes a
+  // fresh slot from the tail chunk or allocates a new chunk.
+  std::uint32_t acquire_slot_index() {
+    if (free_head_ != EventId::kNilIndex) {
+      const std::uint32_t index = free_head_;
+      free_head_ = slot_at(index).next_free;
+      return index;
+    }
+    return grow_slot();
+  }
+  std::uint32_t grow_slot();
+
+  // Slots live in fixed-size chunks so their addresses never move: a
+  // callback executes in place in its slot even if the slab grows under it.
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1U << kChunkShift;
+  [[nodiscard]] Slot& slot_at(std::uint32_t index) {
+    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+  }
+  [[nodiscard]] const Slot& slot_at(std::uint32_t index) const {
+    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+  }
+
+  // Pops lazily-discarded cancelled entries (generation mismatch); returns
+  // whether a live event is at the top.
   bool settle_top();
+  // Pop and execute the queue head. Pre-condition: settle_top() was true
+  // and no schedule/cancel happened since — the head is live.
+  void dispatch_top();
+  // Push counter deltas and the depth gauge out to obs. Called every
+  // kObsSamplePeriod events and at drains/deadlines, not per event.
+  void flush_observability();
 
   SimTime now_;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::size_t live_events_ = 0;
   chk::Fingerprint fingerprint_;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                      std::greater<QueueEntry>>
-      queue_;
-  // Never iterated (only point lookups), so its unordered layout cannot
-  // leak into event order — see tools/lint.py's determinism rules.
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::vector<QueueEntry> heap_;
+  std::vector<QueueEntry> fifo_;  // sorted by (time, seq); head at fifo_head_
+  std::size_t fifo_head_ = 0;
+  bool top_from_fifo_ = false;  // which lane settle_top() left the min in
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t slot_count_ = 0;
+  std::uint32_t free_head_ = EventId::kNilIndex;
 
-  // Process-wide telemetry (obs/metrics.h): handles resolved once here,
-  // updated with relaxed atomics in step().
+  // Process-wide telemetry (obs/metrics.h): handles resolved once here.
+  // Updates are batched: the events counter advances in sampled strides
+  // (exact again at every drain/deadline/predicate exit), the depth gauge
+  // is refreshed on the same cadence, and the lag histogram observes every
+  // kObsSamplePeriod-th event (a 1-in-64 sample of the dwell distribution)
+  // — per-event instrument traffic is the one observability cost the
+  // dispatch loop no longer pays (DESIGN.md §5b).
+  static constexpr std::uint64_t kObsSamplePeriod = 64;
+  std::uint64_t reported_events_ = 0;
   obs::Counter& events_metric_;
   obs::Gauge& queue_depth_metric_;
   obs::Histogram& event_lag_metric_;
@@ -170,6 +339,10 @@ class PeriodicTask {
 
  private:
   void fire();
+  // Arm the next firing. The scheduled callback is a one-pointer capture
+  // (fits InlineCallback's inline storage), so periodic ticks never touch
+  // the heap; `tick_` itself is constructed once and only invoked.
+  void arm(SimTime at);
 
   Simulator& simulator_;
   SimDuration period_;
@@ -187,6 +360,7 @@ template <>
 struct std::hash<lsdf::sim::EventId> {
   [[nodiscard]] std::size_t operator()(
       const lsdf::sim::EventId& id) const noexcept {
-    return std::hash<std::uint64_t>{}(id.value);
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(id.index) << 32) | id.generation);
   }
 };

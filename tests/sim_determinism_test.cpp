@@ -52,6 +52,37 @@ ReplayOutcome resource_scenario(std::uint64_t seed) {
   return chk::outcome_of(sim);
 }
 
+// Golden-value pin across kernel rewrites: this scenario exercises every
+// hot-path feature (resources, periodic ticks, schedule/cancel churn) and
+// its fingerprint is frozen at the value the pre-slab, std::function-based
+// kernel produced. Any change to dispatch order, the (id, time, seq)
+// fingerprint fold, or cancellation semantics breaks this digest.
+TEST(Determinism, KernelFingerprintPinned) {
+  sim::Simulator sim;
+  sim::Resource drives(sim, 3, "drives");
+  sim::PeriodicTask ticker(sim, SimDuration(700), [] {});
+  ticker.start_at(SimTime(350), SimTime(9000));
+  std::uint64_t state = 0x1234abcdULL;
+  for (int i = 0; i < 40; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto delay =
+        SimDuration(static_cast<std::int64_t>(state % 5000) + 1);
+    if (i % 3 == 0) {
+      sim.schedule_after(delay, [&sim, &drives] {
+        drives.acquire(1, [&sim, &drives] {
+          sim.schedule_after(SimDuration(97),
+                             [&drives] { drives.release(1); });
+        });
+      });
+    } else {
+      const sim::EventId id = sim.schedule_after(delay, [] {});
+      if (i % 5 == 0) sim.cancel(id);
+    }
+  }
+  sim.run();
+  EXPECT_EQ(sim.fingerprint(), 0x8338995e1ac06832ULL);
+}
+
 TEST(Determinism, ResourceContentionReplays) {
   for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
     const ReplayReport report = chk::replay_check(resource_scenario, seed);

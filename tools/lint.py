@@ -29,6 +29,12 @@ Rules (see DESIGN.md "Correctness tooling"):
                 and why, and every src/<subsystem>/ directory is named in
                 DESIGN.md — a subsystem that is not in the design document
                 does not exist as far as reviewers are concerned.
+
+  sim-hot-path  No std::function in src/sim/. Event callbacks are the
+                kernel's hottest allocation site; they must use
+                sim::InlineCallback (64-byte SBO, metered heap fallback —
+                DESIGN.md §5b). A std::function member or parameter here
+                silently reintroduces a heap allocation per event.
 """
 
 from __future__ import annotations
@@ -60,6 +66,13 @@ THREAD_PATTERN = re.compile(r"std::thread\b(?!::)")
 THREAD_ALLOWED_PREFIXES = ("src/exec/",)
 
 REQUIRE_CALL = re.compile(r"\b(LSDF_REQUIRE|LSDF_DCHECK)\s*\(")
+
+# The kernel's callback type is InlineCallback; std::function anywhere in
+# src/sim/ (members, parameters, aliases) re-adds a per-event heap
+# allocation. Matched on comment-stripped code, so prose mentioning
+# std::function stays legal.
+SIM_FUNCTION_PATTERN = re.compile(r"std::function\b")
+SIM_HOT_PATH_PREFIX = "src/sim/"
 
 
 def strip_comments(text: str) -> str:
@@ -166,6 +179,15 @@ def check_file(rel: str, raw: str, findings: list[str]) -> None:
                     f"{label} is banned outside the allowlist — derive "
                     f"behaviour from common/rng.h seeds or steady_clock"
                 )
+
+    if rel.startswith(SIM_HOT_PATH_PREFIX):
+        for match in SIM_FUNCTION_PATTERN.finditer(code):
+            findings.append(
+                f"{rel}:{line_of(code, match.start())}: [sim-hot-path] "
+                f"std::function in the event kernel — use "
+                f"sim::InlineCallback so callbacks stay inline in event "
+                f"slots"
+            )
 
     if not rel.startswith(THREAD_ALLOWED_PREFIXES):
         for match in THREAD_PATTERN.finditer(code):
