@@ -4,10 +4,15 @@
 // community job lands behind a long batch job.
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
+#include "adal/adal.h"
+#include "adal/backends.h"
 #include "bench_util.h"
 #include "dfs/cluster_builder.h"
 #include "mapreduce/job_tracker.h"
+#include "storage/storage_pool.h"
 
 using namespace lsdf;
 
@@ -67,9 +72,70 @@ TenancyResult run_mix(mapreduce::JobOrder order, Bytes batch_size,
   return result;
 }
 
+// Drive one shared ADAL/disk-pool stack with several communities issuing
+// different request mixes and report each tenant's latency distribution
+// from the per-(tenant, op) HdrHistograms ADAL records (DESIGN.md §4g).
+void run_tenant_latency() {
+  sim::Simulator sim;
+  const bench::ScopedSimTraceClock trace_clock(sim);
+  adal::AuthService auth;
+  adal::Adal adal(sim, auth);
+
+  storage::DiskArrayConfig disk_config;
+  disk_config.capacity = 200_TB;
+  storage::DiskArray disks(sim, disk_config);
+  storage::StoragePool pool(storage::PlacementPolicy::kMostFree);
+  pool.add_array(disks);
+  if (!adal.register_backend(
+               std::make_unique<adal::PoolBackend>("pool", sim, pool))
+           .is_ok() ||
+      !adal.set_default_backend("pool").is_ok()) {
+    bench::row("(pool backend setup failed; skipping)");
+    return;
+  }
+
+  // Three communities: a heavy archive writer, a bursty interactive
+  // analyst, and a light monitoring client. The shared 20 Gb/s array is
+  // what couples their tails.
+  struct Tenant {
+    const char* name;
+    Bytes object_size;
+    int requests;
+  };
+  const std::vector<Tenant> tenants = {
+      {"archive", 4_GB, 24}, {"analysis", 256_MB, 96}, {"monitor", 8_MB, 48}};
+  for (const Tenant& tenant : tenants) {
+    const std::string token = std::string(tenant.name) + "-token";
+    auth.add_token(token, tenant.name);
+    auth.grant(tenant.name, "*", adal::Access::kRead);
+    auth.grant(tenant.name, "*", adal::Access::kWrite);
+  }
+  for (const Tenant& tenant : tenants) {
+    const adal::Credentials who{std::string(tenant.name) + "-token"};
+    for (int i = 0; i < tenant.requests; ++i) {
+      const std::string uri = std::string("lsdf://data/") + tenant.name +
+                              "/obj" + std::to_string(i);
+      // Stagger submissions so the workloads overlap rather than queueing
+      // in tenant-sized phases.
+      sim.schedule_after(SimDuration::from_seconds(0.25 * i), [&adal, who,
+                                                              uri, tenant] {
+        adal.write(who, uri, tenant.object_size,
+                   [&adal, who, uri](const storage::IoResult& written) {
+                     if (written.status.is_ok()) {
+                       adal.read(who, uri, nullptr);
+                     }
+                   });
+      });
+    }
+  }
+  sim.run();
+  bench::tenant_latency_table("lsdf_adal_request_seconds");
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsOptions obs = bench::obs_init(argc, argv);
   bench::headline("A4: multi-tenant slot scheduling (ablation)",
                   "large virtual communities share one cluster; a batch "
                   "job must not starve interactive analysis");
@@ -116,5 +182,8 @@ int main() {
     bench::compare("total makespan unchanged", 1.0,
                    fair.makespan_s / fifo.makespan_s, "x");
   }
+
+  run_tenant_latency();
+  bench::obs_dump(obs);
   return 0;
 }

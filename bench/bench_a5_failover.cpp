@@ -64,6 +64,7 @@ struct Fabric {
 // t=90min. Returns total transfer time in hours.
 double run_outage(bool redundant) {
   Fabric f(redundant);
+  const bench::ScopedSimTraceClock trace_clock(f.sim);
   std::optional<TransferCompletion> completion;
   const auto flow = f.engine->start_transfer(
       f.src, f.dst, 10_TB, TransferOptions{},
@@ -152,6 +153,7 @@ MirrorScenarioResult run_mirror_scenario(const Properties& plan,
                                          std::uint64_t seed) {
   MirrorScenarioResult result;
   sim::Simulator sim;
+  const bench::ScopedSimTraceClock trace_clock(sim);
   Topology topo;
   const NodeId gateway = topo.add_node("lsdf-gateway");
   const NodeId remote = topo.add_node("heidelberg");
@@ -200,6 +202,7 @@ MirrorScenarioResult run_mirror_scenario(const Properties& plan,
 // MTBF/MTTR process take drives away. Every migration must complete.
 void run_tape_scenario(const Properties& plan, std::uint64_t seed) {
   sim::Simulator sim;
+  const bench::ScopedSimTraceClock trace_clock(sim);
   storage::DiskArrayConfig cache_config;
   cache_config.name = "archive-cache";
   cache_config.capacity = 2_TB;

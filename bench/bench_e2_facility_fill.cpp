@@ -129,6 +129,12 @@ int main(int argc, char** argv) {
   bench::row("ingest latency mean %.2f s (hourly ~83 GB bundles)",
              stats.latency_seconds.mean());
 
+  // Per-community tails: the ingest pipeline tags each item's request with
+  // its project, so the facility's fairness across experiments falls out
+  // of the per-tenant HdrHistograms (DESIGN.md §4g).
+  bench::tenant_latency_table("lsdf_ingest_latency_seconds_by_tenant", 1.0,
+                              "s");
+
   // Shape checks: ~2.1 TB/day fills toward the paper's 2 PB online scale
   // within the facility's first years. (MostFree placement fills the
   // larger IBM system first — DDN engages once free space equalises.)

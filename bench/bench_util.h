@@ -4,6 +4,7 @@
 // the paper reports, plus an explicit comparison line.
 #pragma once
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <fstream>
@@ -12,8 +13,11 @@
 #include <utility>
 #include <vector>
 
+#include "common/file_util.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/simulator.h"
 
 namespace lsdf::bench {
 
@@ -95,13 +99,30 @@ inline void write_json_section(
       at = close;
     }
   }
+  // Section names and metric keys come from callers that may embed quotes
+  // or backslashes (e.g. labels pasted into a key); escape them so the
+  // report stays parseable JSON.
+  auto json_escape = [](const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c;
+      }
+    }
+    return out;
+  };
   std::string body = "{";
   const char* separator = "\n    ";
   for (const auto& [key, value] : values) {
     char rendered[64];
     std::snprintf(rendered, sizeof rendered, "%.10g", value);
     body += separator;
-    body += "\"" + key + "\": " + rendered;
+    body += "\"" + json_escape(key) + "\": " + rendered;
     separator = ",\n    ";
   }
   body += "\n  }";
@@ -114,14 +135,23 @@ inline void write_json_section(
   }
   if (!replaced) sections.emplace_back(section_name, body);
 
-  std::ofstream out(path);
-  out << "{\n";
+  std::string text = "{\n";
   for (std::size_t i = 0; i < sections.size(); ++i) {
-    out << "  \"" << sections[i].first << "\": " << sections[i].second
-        << (i + 1 < sections.size() ? "," : "") << "\n";
+    text += "  \"" + json_escape(sections[i].first) +
+            "\": " + sections[i].second +
+            (i + 1 < sections.size() ? ",\n" : "\n");
   }
-  out << "}\n";
-  row("report: wrote section `%s` to %s", section_name.c_str(), path.c_str());
+  text += "}\n";
+  // Atomic replace: a reader (or a crashed run) never sees a half-written
+  // report shared by several bench binaries.
+  const Status written = write_file_atomic(path, text);
+  if (written.is_ok()) {
+    row("report: wrote section `%s` to %s", section_name.c_str(),
+        path.c_str());
+  } else {
+    row("report: FAILED to write %s: %s", path.c_str(),
+        written.message().c_str());
+  }
 }
 
 // --- Observability hooks (lsdf::obs) -----------------------------------------
@@ -138,7 +168,9 @@ struct ObsOptions {
   std::string trace_path;
   std::string metrics_path;
   std::string metrics_csv_path;
+  std::string flight_dir;
   [[nodiscard]] bool tracing() const { return !trace_path.empty(); }
+  [[nodiscard]] bool flight() const { return !flight_dir.empty(); }
 };
 
 inline ObsOptions obs_init(int argc, char** argv) {
@@ -148,10 +180,40 @@ inline ObsOptions obs_init(int argc, char** argv) {
     if (flag == "--trace") options.trace_path = argv[i + 1];
     if (flag == "--metrics") options.metrics_path = argv[i + 1];
     if (flag == "--metrics-csv") options.metrics_csv_path = argv[i + 1];
+    if (flag == "--flight") options.flight_dir = argv[i + 1];
   }
   if (options.tracing()) obs::Tracer::global().enable(true);
+  if (options.flight()) {
+    // Postmortems (contract failures, injected faults) land in the given
+    // directory; a final timeline is dumped there on obs_dump().
+    obs::FlightRecorder::global().set_postmortem_dir(options.flight_dir);
+    obs::FlightRecorder::global().enable(true);
+  }
   return options;
 }
+
+// Scoped sim-clock binding for the tracer: spans emitted while the guard
+// lives carry this simulator's virtual time. The destructor drops the
+// clock closure before the simulator can go out of scope (the tracer must
+// never hold a dangling clock). No-op when tracing is off.
+class ScopedSimTraceClock {
+ public:
+  explicit ScopedSimTraceClock(sim::Simulator& sim) {
+    if (obs::Tracer::global().enabled()) {
+      bound_ = true;
+      obs::Tracer::global().use_sim_clock(
+          [&sim] { return sim.now().nanos(); });
+    }
+  }
+  ~ScopedSimTraceClock() {
+    if (bound_) obs::Tracer::global().use_steady_clock();
+  }
+  ScopedSimTraceClock(const ScopedSimTraceClock&) = delete;
+  ScopedSimTraceClock& operator=(const ScopedSimTraceClock&) = delete;
+
+ private:
+  bool bound_ = false;
+};
 
 // Print the non-zero counters whose names start with `prefix` ("" = all) —
 // the quick "did the run actually exercise X" check.
@@ -167,18 +229,97 @@ inline void metrics_digest(const std::string& prefix = "") {
   }
 }
 
+// Per-tenant tail-latency table from an HdrHistogram family labelled by
+// `tenant` — the A4/E2 fairness evidence. Prints count/p50/p90/p99/p999/max
+// per tenant plus Jain's fairness index over mean latencies (1.0 = every
+// tenant sees the same mean; 1/n = one tenant absorbs everything).
+inline void tenant_latency_table(const std::string& metric_name,
+                                 double scale = 1e3,
+                                 const char* unit = "ms") {
+  struct Row {
+    std::string tenant;
+    double count, p50, p90, p99, p999, max, mean;
+  };
+  std::vector<Row> rows;
+  for (const auto& snap : obs::MetricsRegistry::global().snapshot()) {
+    if (snap.kind != obs::InstrumentKind::kHdrHistogram ||
+        snap.name != metric_name || snap.count == 0) {
+      continue;
+    }
+    std::string tenant;
+    for (const auto& [key, value] : snap.labels) {
+      if (key == "tenant") tenant = value;
+    }
+    if (tenant.empty()) continue;
+    const double count = static_cast<double>(snap.count);
+    Row r{tenant, count, 0, 0, 0, 0, snap.max * scale,
+          count > 0 ? snap.value / count * scale : 0.0};
+    for (const auto& [q, v] : snap.quantiles) {
+      if (q == 0.5) r.p50 = v * scale;
+      if (q == 0.9) r.p90 = v * scale;
+      if (q == 0.99) r.p99 = v * scale;
+      if (q == 0.999) r.p999 = v * scale;
+    }
+    rows.push_back(std::move(r));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.tenant < b.tenant; });
+  section("per-tenant tail latency: " + metric_name + " (" + unit + ")");
+  if (rows.empty()) {
+    row("(no per-tenant samples recorded)");
+    return;
+  }
+  row("%-14s %10s %10s %10s %10s %10s %10s", "tenant", "count", "p50", "p90",
+      "p99", "p999", "max");
+  double sum = 0.0, sum_sq = 0.0;
+  for (const Row& r : rows) {
+    row("%-14s %10.0f %10.3f %10.3f %10.3f %10.3f %10.3f", r.tenant.c_str(),
+        r.count, r.p50, r.p90, r.p99, r.p999, r.max);
+    sum += r.mean;
+    sum_sq += r.mean * r.mean;
+  }
+  const double n = static_cast<double>(rows.size());
+  const double jain = sum_sq > 0.0 ? (sum * sum) / (n * sum_sq) : 1.0;
+  row("Jain fairness index over mean latency: %.4f  (1.0 = perfectly fair, "
+      "%.2f = worst)",
+      jain, 1.0 / n);
+}
+
 inline void obs_dump(const ObsOptions& options) {
   if (!options.metrics_path.empty()) {
-    std::ofstream out(options.metrics_path);
-    out << obs::MetricsRegistry::global().to_prometheus();
-    row("metrics: wrote %zu instruments to %s",
-        obs::MetricsRegistry::global().instrument_count(),
-        options.metrics_path.c_str());
+    const Status written = write_file_atomic(
+        options.metrics_path, obs::MetricsRegistry::global().to_prometheus());
+    if (written.is_ok()) {
+      row("metrics: wrote %zu instruments to %s",
+          obs::MetricsRegistry::global().instrument_count(),
+          options.metrics_path.c_str());
+    } else {
+      row("metrics: FAILED to write %s: %s", options.metrics_path.c_str(),
+          written.message().c_str());
+    }
   }
   if (!options.metrics_csv_path.empty()) {
-    std::ofstream out(options.metrics_csv_path);
-    out << obs::MetricsRegistry::global().to_csv();
-    row("metrics: wrote CSV to %s", options.metrics_csv_path.c_str());
+    const Status written = write_file_atomic(
+        options.metrics_csv_path, obs::MetricsRegistry::global().to_csv());
+    if (written.is_ok()) {
+      row("metrics: wrote CSV to %s", options.metrics_csv_path.c_str());
+    } else {
+      row("metrics: FAILED to write %s: %s",
+          options.metrics_csv_path.c_str(), written.message().c_str());
+    }
+  }
+  if (options.flight()) {
+    obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+    const std::string path = options.flight_dir + "/flight-final.txt";
+    const Status written = recorder.dump_to_file(path);
+    if (written.is_ok()) {
+      row("flight: wrote %llu recorded event(s) to %s",
+          static_cast<unsigned long long>(recorder.recorded()), path.c_str());
+    } else {
+      row("flight: FAILED to write %s: %s", path.c_str(),
+          written.message().c_str());
+    }
+    recorder.enable(false);
   }
   if (options.tracing()) {
     obs::Tracer& tracer = obs::Tracer::global();

@@ -1,10 +1,28 @@
 #include "adal/adal.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/require.h"
+#include "obs/context.h"
+#include "obs/trace.h"
 
 namespace lsdf::adal {
+
+namespace {
+
+// Root or refine the thread's request context for an ADAL operation: a bare
+// call starts a fresh request tagged with the caller's tenant; a call made
+// inside an existing request (e.g. ingest) keeps that request and only
+// fills in a missing tenant tag.
+obs::RequestContext request_context_for(const std::string& tenant) {
+  obs::RequestContext context = obs::current_context();
+  if (!context.active()) return obs::begin_request(tenant);
+  if (context.tenant == 0) context.tenant = obs::tenant_id(tenant);
+  return context;
+}
+
+}  // namespace
 
 Result<Uri> Uri::parse(const std::string& text) {
   constexpr std::string_view kScheme = "lsdf://";
@@ -94,6 +112,42 @@ Result<Backend*> Adal::backend_for(const std::string& name) const {
   return it->second.get();
 }
 
+std::string Adal::tenant_of(const Credentials& who) const {
+  const auto principal = auth_.principal_of(who);
+  return principal.is_ok() ? principal.value() : std::string("anonymous");
+}
+
+obs::HdrHistogram& Adal::request_latency(const std::string& tenant,
+                                         const char* op) {
+  const auto key = std::make_pair(tenant, std::string(op));
+  const auto it = latency_by_.find(key);
+  if (it != latency_by_.end()) return *it->second;
+  obs::HdrHistogram& instrument =
+      obs::MetricsRegistry::global().hdr_histogram(
+          "lsdf_adal_request_seconds", {{"op", op}, {"tenant", tenant}});
+  latency_by_.emplace(key, &instrument);
+  return instrument;
+}
+
+storage::IoCallback Adal::timed(const char* op, const std::string& tenant,
+                                storage::IoCallback done) {
+  const SimTime started = simulator_.now();
+  obs::HdrHistogram& latency = request_latency(tenant, op);
+  return [this, op, started, &latency,
+          done = std::move(done)](const storage::IoResult& result) {
+    latency.record((simulator_.now() - started).seconds());
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled() && tracer.sim_clocked()) {
+      tracer.emit_complete(
+          std::string("adal.") + op, "adal", started.nanos() / 1000,
+          (simulator_.now() - started).nanos() / 1000,
+          {{"status", result.status.is_ok() ? std::string("ok")
+                                            : result.status.to_string()}});
+    }
+    if (done) done(result);
+  };
+}
+
 void Adal::fail(storage::IoCallback done, Status status) const {
   const SimTime now = simulator_.now();
   simulator_.schedule_after(
@@ -108,6 +162,12 @@ void Adal::fail(storage::IoCallback done, Status status) const {
 
 void Adal::write(const Credentials& who, const std::string& uri, Bytes size,
                  storage::IoCallback done) {
+  const std::string tenant = tenant_of(who);
+  // Install the request context for the synchronous prologue; async legs
+  // (backend I/O, the fail() event) inherit it via the schedule-site
+  // capture in sim::Simulator.
+  const obs::ContextScope scope(request_context_for(tenant));
+  done = timed("write", tenant, std::move(done));
   const auto parsed = Uri::parse(uri);
   if (!parsed.is_ok()) {
     fail(std::move(done), parsed.status());
@@ -179,6 +239,9 @@ void Adal::write(const Credentials& who, const std::string& uri, Bytes size,
 
 void Adal::read(const Credentials& who, const std::string& uri,
                 storage::IoCallback done) {
+  const std::string tenant = tenant_of(who);
+  const obs::ContextScope scope(request_context_for(tenant));
+  done = timed("read", tenant, std::move(done));
   const auto parsed = Uri::parse(uri);
   if (!parsed.is_ok()) {
     fail(std::move(done), parsed.status());
@@ -252,7 +315,17 @@ bool Adal::exists(const std::string& uri) const {
 void Adal::migrate(const Credentials& who, const std::string& logical_path,
                    const std::string& target_backend,
                    std::function<void(Status)> done) {
-  auto finish = [this, done = std::move(done)](Status status) {
+  const obs::ContextScope scope(request_context_for(tenant_of(who)));
+  const SimTime started = simulator_.now();
+  auto finish = [this, started, done = std::move(done)](Status status) {
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled() && tracer.sim_clocked()) {
+      tracer.emit_complete(
+          "adal.migrate", "adal", started.nanos() / 1000,
+          (simulator_.now() - started).nanos() / 1000,
+          {{"status",
+            status.is_ok() ? std::string("ok") : status.to_string()}});
+    }
     simulator_.schedule_after(
         SimDuration::zero(),
         [done = std::move(done), status = std::move(status)] {

@@ -137,6 +137,18 @@ class Adal {
   [[nodiscard]] Result<Backend*> backend_for(const std::string& name) const;
   void fail(storage::IoCallback done, Status status) const;
 
+  // Observability (DESIGN.md §4g). ADAL operations are the facility's
+  // request roots: tenant_of() maps credentials to the tenant tag,
+  // request_latency() resolves the per-(tenant, op) HdrHistogram once and
+  // caches the handle, and timed() wraps a completion callback to record
+  // the latency and emit the operation span.
+  [[nodiscard]] std::string tenant_of(const Credentials& who) const;
+  [[nodiscard]] obs::HdrHistogram& request_latency(const std::string& tenant,
+                                                   const char* op);
+  [[nodiscard]] storage::IoCallback timed(const char* op,
+                                          const std::string& tenant,
+                                          storage::IoCallback done);
+
   sim::Simulator& simulator_;
   AuthService& auth_;
   std::map<std::string, std::unique_ptr<Backend>> backends_;
@@ -144,6 +156,9 @@ class Adal {
   std::map<std::string, Located> logical_;  // logical path -> location
   std::map<std::string, Bytes> quota_limit_;
   std::map<std::string, Bytes> quota_usage_;
+  // (tenant, op) -> latency instrument; handles resolved once.
+  std::map<std::pair<std::string, std::string>, obs::HdrHistogram*>
+      latency_by_;
 };
 
 }  // namespace lsdf::adal

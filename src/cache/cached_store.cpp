@@ -16,10 +16,8 @@ CachedStore::CachedStore(sim::Simulator& simulator, CacheConfig config,
       backing_write_(std::move(backing_write)),
       served_bytes_metric_(obs::MetricsRegistry::global().counter(
           "lsdf_cache_served_bytes_total", {{"cache", cache_.name()}})),
-      hit_latency_metric_(obs::MetricsRegistry::global().histogram(
-          "lsdf_cache_hit_latency_seconds",
-          obs::Histogram::exponential_bounds(1e-4, 2.0, 16),
-          {{"cache", cache_.name()}})) {}
+      hit_latency_metric_(obs::MetricsRegistry::global().hdr_histogram(
+          "lsdf_cache_hit_latency_seconds", {{"cache", cache_.name()}})) {}
 
 void CachedStore::serve_hit(const std::string& key, Bytes size,
                             storage::IoCallback done) {
@@ -33,7 +31,7 @@ void CachedStore::serve_hit(const std::string& key, Bytes size,
       const SimTime finished = simulator_.now();
       bytes_served_ += size;
       served_bytes_metric_.add(size.count());
-      hit_latency_metric_.observe((finished - started).seconds());
+      hit_latency_metric_.record((finished - started).seconds());
       auto& tracer = obs::Tracer::global();
       if (tracer.enabled() && tracer.sim_clocked()) {
         tracer.emit_complete(

@@ -62,7 +62,7 @@ class CachedStore {
   Bytes bytes_served_;
 
   obs::Counter& served_bytes_metric_;
-  obs::Histogram& hit_latency_metric_;
+  obs::HdrHistogram& hit_latency_metric_;
 };
 
 }  // namespace lsdf::cache

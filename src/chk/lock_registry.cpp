@@ -38,7 +38,7 @@ struct LockRegistry::Instruments {
   obs::Counter& long_holds;
   obs::Counter& cycles;
   obs::Gauge& edges;
-  obs::Histogram& hold_seconds;
+  obs::HdrHistogram& hold_seconds;
 };
 
 LockRegistry& LockRegistry::global() {
@@ -69,8 +69,7 @@ void LockRegistry::ensure_instruments() {
         reg.counter("lsdf_chk_lock_long_holds_total"),
         reg.counter("lsdf_chk_lock_cycles_total"),
         reg.gauge("lsdf_chk_lock_order_edges"),
-        reg.histogram("lsdf_chk_lock_hold_seconds",
-                      obs::Histogram::exponential_bounds(1e-7, 10.0, 9)),
+        reg.hdr_histogram("lsdf_chk_lock_hold_seconds"),
     };
   });
 }
@@ -119,7 +118,7 @@ void LockRegistry::on_release(int node) {
       if (instruments_ != nullptr) instruments_->long_holds.add(1);
     }
     if (instruments_ != nullptr) {
-      instruments_->hold_seconds.observe(static_cast<double>(nanos) * 1e-9);
+      instruments_->hold_seconds.record(static_cast<double>(nanos) * 1e-9);
     }
     return;
   }

@@ -1,0 +1,39 @@
+//! Atomic file export: write the full payload to a `.tmp` sibling, then
+//! rename() it into place. POSIX rename within a directory is atomic, so a
+//! reader (or a crash mid-export — observable via the obs flight recorder)
+//! sees either the previous complete file or the new complete file, never a
+//! truncated artifact. Every metrics/trace/postmortem exporter goes through
+//! this helper.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <ios>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace lsdf {
+
+[[nodiscard]] inline Status write_file_atomic(const std::string& path,
+                                              std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return unavailable("cannot open " + tmp);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out.good()) {
+      std::remove(tmp.c_str());
+      return unavailable("short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return unavailable("cannot rename " + tmp + " over " + path);
+  }
+  return Status::ok();
+}
+
+}  // namespace lsdf

@@ -20,13 +20,32 @@ class ContractViolation : public std::logic_error {
       : std::logic_error(what) {}
 };
 
+// Observability hook, invoked with the formatted message immediately before
+// contract_failure throws. obs::FlightRecorder installs one so that a
+// ContractViolation carries a recent-event timeline (DESIGN.md §4g). Hooks
+// must not throw; nullptr uninstalls.
+using ContractFailureHook = void (*)(const char* what);
+
 namespace detail {
+inline ContractFailureHook& contract_failure_hook_slot() {
+  static ContractFailureHook hook = nullptr;
+  return hook;
+}
+
 [[noreturn]] inline void contract_failure(const char* expr, const char* file,
                                           int line, const std::string& msg) {
-  throw ContractViolation(std::string(file) + ":" + std::to_string(line) +
-                          ": requirement `" + expr + "` failed: " + msg);
+  const std::string what = std::string(file) + ":" + std::to_string(line) +
+                           ": requirement `" + expr + "` failed: " + msg;
+  if (const ContractFailureHook hook = contract_failure_hook_slot()) {
+    hook(what.c_str());
+  }
+  throw ContractViolation(what);
 }
 }  // namespace detail
+
+inline void set_contract_failure_hook(ContractFailureHook hook) {
+  detail::contract_failure_hook_slot() = hook;
+}
 
 }  // namespace lsdf
 

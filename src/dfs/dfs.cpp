@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/trace.h"
+
 namespace lsdf::dfs {
 
 DfsCluster::DfsCluster(sim::Simulator& simulator,
@@ -26,6 +28,14 @@ DfsCluster::DfsCluster(sim::Simulator& simulator,
 
 namespace {
 std::string block_key(BlockId id) { return std::to_string(id); }
+
+const char* locality_name(Locality locality) {
+  switch (locality) {
+    case Locality::kNodeLocal: return "node-local";
+    case Locality::kRackLocal: return "rack-local";
+    default: return "remote";
+  }
+}
 }  // namespace
 
 void DfsCluster::drop_cached_block(BlockId id) {
@@ -313,6 +323,23 @@ std::vector<DataNodeId> DfsCluster::block_replicas(BlockId id) const {
 
 void DfsCluster::read_block(BlockId id, net::NodeId reader,
                             DfsCallback done) {
+  // Per-block-read latency + span, recorded when the read completes (cache
+  // hit or replica path alike). The handle resolves once per process.
+  static obs::HdrHistogram& read_latency =
+      obs::MetricsRegistry::global().hdr_histogram(
+          "lsdf_dfs_block_read_seconds");
+  done = [this, id, started = simulator_.now(),
+          done = std::move(done)](const DfsIoResult& result) {
+    read_latency.record((simulator_.now() - started).seconds());
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled() && tracer.sim_clocked()) {
+      tracer.emit_complete("dfs.read_block", "dfs", started.nanos() / 1000,
+                           (simulator_.now() - started).nanos() / 1000,
+                           {{"block", std::to_string(id)},
+                            {"locality", locality_name(result.locality)}});
+    }
+    if (done) done(result);
+  };
   if (!block_cache_) {
     read_attempt(id, reader, {}, simulator_.now(), std::move(done));
     return;

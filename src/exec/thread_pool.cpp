@@ -1,6 +1,7 @@
 #include "exec/thread_pool.h"
 
 #include "common/require.h"
+#include "obs/context.h"
 
 namespace lsdf::exec {
 
@@ -45,6 +46,17 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(Task task) {
   LSDF_REQUIRE(task != nullptr, "null task");
+
+  // Propagate the submitter's request context across the pool hop so work
+  // done on behalf of a request stays attributed to it (DESIGN.md §4g).
+  // Only paid when a request is actually in scope.
+  if (const obs::RequestContext context = obs::current_context();
+      context.active()) {
+    task = [context, inner = std::move(task)] {
+      const obs::ContextScope scope(context);
+      inner();
+    };
+  }
 
   // Prefer the current worker's own queue (keeps task trees cache-local);
   // external submitters round-robin.

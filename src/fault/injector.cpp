@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/require.h"
+#include "obs/flight_recorder.h"
 
 namespace lsdf::fault {
 namespace {
@@ -31,10 +32,8 @@ FaultInjector::FaultInjector(sim::Simulator& simulator, std::uint64_t seed)
       seed_(seed),
       active_metric_(
           obs::MetricsRegistry::global().gauge("lsdf_fault_active")),
-      downtime_metric_(obs::MetricsRegistry::global().histogram(
-          "lsdf_fault_downtime_seconds",
-          // Repairs span seconds (drive swap) to days (WAN backbone work).
-          obs::Histogram::exponential_bounds(1.0, 4.0, 10))) {}
+      downtime_metric_(obs::MetricsRegistry::global().hdr_histogram(
+          "lsdf_fault_downtime_seconds")) {}
 
 FaultInjector::Component& FaultInjector::add_component(
     const std::string& name, ComponentKind kind) {
@@ -141,6 +140,10 @@ void FaultInjector::inject(Component& component) {
   ++injected_;
   component.injected_metric->add(1);
   active_metric_.add(1.0);
+  // A fault firing is exactly the moment a postmortem wants the recent
+  // event history; snapshot the flight rings (DESIGN.md §4g).
+  obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+  if (recorder.enabled()) recorder.on_fault(component.name);
 }
 
 void FaultInjector::restore(Component& component) {
@@ -150,7 +153,7 @@ void FaultInjector::restore(Component& component) {
   timeline_.push_back({simulator_.now(), component.name, false});
   ++recovered_;
   component.recovered_metric->add(1);
-  downtime_metric_.observe(
+  downtime_metric_.record(
       (simulator_.now() - component.failed_at).seconds());
   active_metric_.add(-1.0);
 }

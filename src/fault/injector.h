@@ -148,7 +148,7 @@ class FaultInjector {
   std::int64_t recovered_ = 0;
 
   obs::Gauge& active_metric_;
-  obs::Histogram& downtime_metric_;
+  obs::HdrHistogram& downtime_metric_;
 };
 
 }  // namespace lsdf::fault

@@ -3,15 +3,14 @@
 #include <memory>
 #include <string>
 
+#include "obs/context.h"
 #include "obs/trace.h"
 
 namespace lsdf::ingest {
 namespace {
-obs::Histogram& stage_histogram(const char* stage) {
-  return obs::MetricsRegistry::global().histogram(
-      "lsdf_ingest_stage_seconds",
-      obs::Histogram::exponential_bounds(1e-2, 4.0, 8),
-      {{"stage", stage}});
+obs::HdrHistogram& stage_histogram(const char* stage) {
+  return obs::MetricsRegistry::global().hdr_histogram(
+      "lsdf_ingest_stage_seconds", {{"stage", stage}});
 }
 }  // namespace
 
@@ -38,9 +37,8 @@ IngestPipeline::IngestPipeline(sim::Simulator& simulator,
           obs::MetricsRegistry::global().counter("lsdf_ingest_bytes_total")),
       checksum_bytes_metric_(obs::MetricsRegistry::global().counter(
           "lsdf_ingest_checksum_bytes_total")),
-      latency_metric_(obs::MetricsRegistry::global().histogram(
-          "lsdf_ingest_latency_seconds",
-          obs::Histogram::exponential_bounds(1e-2, 4.0, 8))),
+      latency_metric_(obs::MetricsRegistry::global().hdr_histogram(
+          "lsdf_ingest_latency_seconds")),
       transfer_stage_metric_(stage_histogram("transfer")),
       checksum_stage_metric_(stage_histogram("checksum")),
       store_stage_metric_(stage_histogram("store")) {
@@ -58,13 +56,23 @@ void IngestPipeline::finish(IngestReport report, IngestCallback done) {
     stats_.latency_seconds.add(report.latency().seconds());
     ok_items_metric_.add(1);
     bytes_metric_.add(report.size.count());
-    latency_metric_.observe(report.latency().seconds());
+    latency_metric_.record(report.latency().seconds());
   } else {
     ++stats_.failed;
     failed_items_metric_.add(1);
   }
   slots_.release(1);
   queue_depth_metric_.set(static_cast<double>(slots_.queue_length()));
+  // Per-tenant tail latency for E2's fairness tables. The tenant rides the
+  // request context from submit() through every async leg to here.
+  if (report.status.is_ok()) {
+    const std::string tenant =
+        obs::tenant_name(obs::current_context().tenant);
+    obs::MetricsRegistry::global()
+        .hdr_histogram("lsdf_ingest_latency_seconds_by_tenant",
+                       {{"tenant", tenant.empty() ? "unknown" : tenant}})
+        .record(report.latency().seconds());
+  }
   obs::Tracer& tracer = obs::Tracer::global();
   if (tracer.enabled() && tracer.sim_clocked()) {
     tracer.emit_complete(
@@ -77,6 +85,9 @@ void IngestPipeline::finish(IngestReport report, IngestCallback done) {
 }
 
 void IngestPipeline::submit(IngestItem item, IngestCallback done) {
+  // Each ingest item is a request root; the experiment's project is the
+  // tenant. Async legs inherit the context via schedule-site capture.
+  const obs::ContextScope request_scope(obs::begin_request(item.project));
   ++stats_.submitted;
   auto report = std::make_shared<IngestReport>();
   report->submitted = simulator_.now();
@@ -120,12 +131,12 @@ void IngestPipeline::submit(IngestItem item, IngestCallback done) {
             finish(*report, *shared_done);
             return;
           }
-          transfer_stage_metric_.observe(
+          transfer_stage_metric_.record(
               (simulator_.now() - granted).seconds());
           // Stage 2: checksum the stream (CRC32C at the scan rate).
           const SimDuration checksum_time =
               transfer_time(shared_item->size, config_.checksum_rate);
-          checksum_stage_metric_.observe(checksum_time.seconds());
+          checksum_stage_metric_.record(checksum_time.seconds());
           checksum_bytes_metric_.add(shared_item->size.count());
           simulator_.schedule_after(checksum_time, [this, shared_item,
                                                     shared_done, report] {
@@ -140,7 +151,7 @@ void IngestPipeline::submit(IngestItem item, IngestCallback done) {
                 config_.credentials, report->uri, shared_item->size,
                 [this, shared_item, shared_done, report,
                  checksum](const storage::IoResult& write_result) {
-                  store_stage_metric_.observe(
+                  store_stage_metric_.record(
                       write_result.duration().seconds());
                   if (!write_result.status.is_ok()) {
                     report->status = write_result.status;

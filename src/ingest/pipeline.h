@@ -114,10 +114,10 @@ class IngestPipeline {
   obs::Counter& rejected_items_metric_;
   obs::Counter& bytes_metric_;
   obs::Counter& checksum_bytes_metric_;
-  obs::Histogram& latency_metric_;
-  obs::Histogram& transfer_stage_metric_;
-  obs::Histogram& checksum_stage_metric_;
-  obs::Histogram& store_stage_metric_;
+  obs::HdrHistogram& latency_metric_;
+  obs::HdrHistogram& transfer_stage_metric_;
+  obs::HdrHistogram& checksum_stage_metric_;
+  obs::HdrHistogram& store_stage_metric_;
 };
 
 }  // namespace lsdf::ingest

@@ -2,7 +2,19 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace lsdf::meta {
+
+namespace {
+// Lookup counters keyed by operation. Function-local statics: handles are
+// resolved once per process; the store itself stays registry-free.
+obs::Counter& lookup_counter(const char* op) {
+  return obs::MetricsRegistry::global().counter("lsdf_meta_lookups_total",
+                                                {{"op", op}});
+}
+}  // namespace
 
 std::string to_display_string(const AttrValue& value) {
   switch (value.index()) {
@@ -89,6 +101,8 @@ Result<DatasetId> MetadataStore::register_dataset(Registration reg) {
 }
 
 Result<DatasetRecord> MetadataStore::get(DatasetId id) const {
+  static obs::Counter& lookups = lookup_counter("get");
+  lookups.add(1);
   const auto it = records_.find(id);
   if (it == records_.end()) {
     return not_found("dataset #" + std::to_string(id));
@@ -98,6 +112,13 @@ Result<DatasetRecord> MetadataStore::get(DatasetId id) const {
 
 Result<DatasetId> MetadataStore::find_by_name(const std::string& project,
                                               const std::string& name) const {
+  static obs::Counter& lookups = lookup_counter("find_by_name");
+  lookups.add(1);
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled() && tracer.sim_clocked()) {
+    tracer.emit_instant("meta.find_by_name", "meta",
+                        {{"name", project + "/" + name}});
+  }
   const auto project_it = projects_.find(project);
   if (project_it == projects_.end()) return not_found("project " + project);
   const auto it = project_it->second.by_name.find(name);
@@ -108,6 +129,12 @@ Result<DatasetId> MetadataStore::find_by_name(const std::string& project,
 }
 
 std::vector<DatasetId> MetadataStore::query(const Query& query) const {
+  static obs::Counter& lookups = lookup_counter("query");
+  lookups.add(1);
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled() && tracer.sim_clocked()) {
+    tracer.emit_instant("meta.query", "meta", {});
+  }
   std::vector<DatasetId> out;
 
   // Seed the candidate set from the most selective exact-match index

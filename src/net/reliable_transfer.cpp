@@ -17,10 +17,8 @@ ReliableTransfer::ReliableTransfer(sim::Simulator& simulator,
           "lsdf_retry_attempts_total", {{"service", service_}})),
       exhausted_metric_(obs::MetricsRegistry::global().counter(
           "lsdf_retry_exhausted_total", {{"service", service_}})),
-      recovery_metric_(obs::MetricsRegistry::global().histogram(
-          "lsdf_retry_recovery_seconds",
-          obs::Histogram::exponential_bounds(1.0, 4.0, 10),
-          {{"service", service_}})) {}
+      recovery_metric_(obs::MetricsRegistry::global().hdr_histogram(
+          "lsdf_retry_recovery_seconds", {{"service", service_}})) {}
 
 void ReliableTransfer::submit(NodeId src, NodeId dst, Bytes size,
                               const TransferOptions& options,
@@ -41,7 +39,7 @@ void ReliableTransfer::submit(NodeId src, NodeId dst, Bytes size,
 
 void ReliableTransfer::finish(Operation& op, Status status) {
   if (status.is_ok() && op.attempts > 1) {
-    recovery_metric_.observe((simulator_.now() - op.submitted).seconds());
+    recovery_metric_.record((simulator_.now() - op.submitted).seconds());
   }
   if (!status.is_ok()) exhausted_metric_.add(1);
   ReliableTransferReport report;

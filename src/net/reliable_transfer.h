@@ -83,7 +83,7 @@ class ReliableTransfer {
   Rng rng_;
   obs::Counter& attempts_metric_;
   obs::Counter& exhausted_metric_;
-  obs::Histogram& recovery_metric_;
+  obs::HdrHistogram& recovery_metric_;
 };
 
 }  // namespace lsdf::net

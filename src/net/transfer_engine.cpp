@@ -26,9 +26,8 @@ TransferEngine::TransferEngine(sim::Simulator& simulator,
           obs::MetricsRegistry::global().counter("lsdf_net_bytes_total")),
       cancelled_metric_(obs::MetricsRegistry::global().counter(
           "lsdf_net_cancelled_total")),
-      duration_metric_(obs::MetricsRegistry::global().histogram(
-          "lsdf_net_transfer_seconds",
-          obs::Histogram::exponential_bounds(1e-3, 10.0, 9))),
+      duration_metric_(obs::MetricsRegistry::global().hdr_histogram(
+          "lsdf_net_transfer_seconds")),
       active_flows_metric_(
           obs::MetricsRegistry::global().gauge("lsdf_net_active_flows")) {}
 
@@ -60,7 +59,7 @@ void TransferEngine::credit_link_bytes(const std::vector<LinkId>& path,
 void TransferEngine::record_completion(const TransferCompletion& completion) {
   transfers_metric_.add(1);
   bytes_metric_.add(completion.size.count());
-  duration_metric_.observe(completion.duration().seconds());
+  duration_metric_.record(completion.duration().seconds());
   // Spans carry simulated timestamps, so they only make sense on a
   // sim-clocked tracer (a steady-clocked one would interleave wall time).
   obs::Tracer& tracer = obs::Tracer::global();
@@ -105,9 +104,11 @@ Result<FlowId> TransferEngine::start_transfer(NodeId src, NodeId dst,
   // and first-byte propagation).
   simulator_.schedule_after(
       latency, [this, id, src, dst, size, started, path = std::move(path),
-                options, cb = std::move(on_complete)]() mutable {
+                options, ctx = obs::current_context(),
+                cb = std::move(on_complete)]() mutable {
         advance_progress();
         Flow flow;
+        flow.ctx = ctx;
         flow.id = id;
         flow.src = src;
         flow.dst = dst;
@@ -145,6 +146,7 @@ bool TransferEngine::cancel(FlowId id) {
   TransferCompletion completion{flow.id, flow.size, flow.started,
                                 simulator_.now()};
   completion.status = lsdf::cancelled("transfer aborted by caller");
+  const obs::ContextScope scope(flow.ctx);
   if (flow.on_complete) flow.on_complete(completion);
   return true;
 }
@@ -197,6 +199,7 @@ void TransferEngine::advance_progress() {
 void TransferEngine::complete_flow(Flow flow) {
   const TransferCompletion completion{flow.id, flow.size, flow.started,
                                       simulator_.now()};
+  const obs::ContextScope scope(flow.ctx);
   record_completion(completion);
   if (flow.on_complete) flow.on_complete(completion);
 }

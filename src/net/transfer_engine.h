@@ -18,6 +18,7 @@
 #include "common/status.h"
 #include "common/units.h"
 #include "net/topology.h"
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "sim/simulator.h"
 
@@ -108,6 +109,11 @@ class TransferEngine {
     Bytes size;
     SimTime started;
     CompletionCallback on_complete;
+    // Request context captured at start_transfer. Completions fire from
+    // whichever event advanced the clock past the flow's finish time — a
+    // context belonging to some *other* request — so complete_flow()
+    // re-installs this one before the span and callback (DESIGN.md §4g).
+    obs::RequestContext ctx;
   };
 
   // Move every active flow forward to now(), crediting each link on the
@@ -170,7 +176,7 @@ class TransferEngine {
   obs::Counter& transfers_metric_;
   obs::Counter& bytes_metric_;
   obs::Counter& cancelled_metric_;
-  obs::Histogram& duration_metric_;
+  obs::HdrHistogram& duration_metric_;
   obs::Gauge& active_flows_metric_;
   std::vector<obs::Counter*> link_bytes_;   // indexed by LinkId
   std::vector<double> link_bytes_residue_;  // sub-byte carry per link

@@ -1,0 +1,71 @@
+#include "obs/context.h"
+
+#include <atomic>
+#include <map>
+#include <vector>
+
+#include "chk/lock_registry.h"
+#include "chk/thread_annotations.h"
+
+namespace lsdf::obs {
+
+RequestContext& current_context() noexcept {
+  thread_local RequestContext context;
+  return context;
+}
+
+std::uint64_t next_request_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t next_span_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Interning table. A leaf mutex: nothing is locked while holding it.
+struct TenantTable {
+  chk::TrackedMutex mutex{"obs.tenant_table"};
+  std::map<std::string, std::uint32_t> ids LSDF_GUARDED_BY(mutex);
+  std::vector<std::string> names LSDF_GUARDED_BY(mutex);  // id - 1 -> name
+};
+
+TenantTable& tenant_table() {
+  static TenantTable table;
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t tenant_id(const std::string& name) {
+  if (name.empty()) return 0;
+  TenantTable& table = tenant_table();
+  const chk::LockGuard lock(table.mutex);
+  const auto it = table.ids.find(name);
+  if (it != table.ids.end()) return it->second;
+  table.names.push_back(name);
+  const auto id = static_cast<std::uint32_t>(table.names.size());
+  table.ids.emplace(name, id);
+  return id;
+}
+
+std::string tenant_name(std::uint32_t id) {
+  if (id == 0) return "";
+  TenantTable& table = tenant_table();
+  const chk::LockGuard lock(table.mutex);
+  if (id > table.names.size()) return "";
+  return table.names[id - 1];
+}
+
+RequestContext begin_request(const std::string& tenant) {
+  RequestContext context;
+  context.request_id = next_request_id();
+  context.span_id = 0;
+  context.tenant = tenant_id(tenant);
+  return context;
+}
+
+}  // namespace lsdf::obs

@@ -1,0 +1,67 @@
+//! Request-scoped causal context (obs v2, DESIGN.md §4g): every facility
+//! request — an ADAL read, an ingest item, a mirror transfer — carries a
+//! RequestContext {request id, innermost span id, tenant tag} through the
+//! layers it crosses. The context lives in a thread-local slot; the sim
+//! kernel captures it at every schedule_at() site and restores it around the
+//! dispatched callback, and exec::ThreadPool does the same across pool hops,
+//! so asynchronous continuations inherit the request that caused them
+//! without any plumbing in model code.
+//!
+//! Determinism contract: contexts are observability-only. Nothing in the
+//! kernel or the models may branch on them, request/span ids never feed the
+//! execution fingerprint, and capture/restore happens unconditionally — so
+//! chk replay fingerprints are byte-identical with tracing on or off.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lsdf::obs {
+
+// The causal tag a request carries. POD by design: the kernel copies it
+// into every event slot (schedule site) and back into the thread-local slot
+// (dispatch site), so it must stay trivially copyable and small.
+struct RequestContext {
+  std::uint64_t request_id = 0;  // 0 = no request in scope
+  std::uint64_t span_id = 0;     // innermost open span (parent for children)
+  std::uint32_t tenant = 0;      // interned tenant/project tag; 0 = untagged
+  [[nodiscard]] bool active() const { return request_id != 0; }
+  friend bool operator==(const RequestContext&,
+                         const RequestContext&) = default;
+};
+static_assert(std::is_trivially_copyable_v<RequestContext>,
+              "the kernel copies contexts into event slots");
+
+// The calling thread's active context (a mutable thread-local slot).
+[[nodiscard]] RequestContext& current_context() noexcept;
+
+// Process-unique id allocators (relaxed atomics; ids start at 1).
+[[nodiscard]] std::uint64_t next_request_id();
+[[nodiscard]] std::uint64_t next_span_id();
+
+// Tenant interning: names ("katrin", "zebrafish-htm") map to small stable
+// ids so contexts stay POD. Lookup of an unknown id yields "".
+[[nodiscard]] std::uint32_t tenant_id(const std::string& name);
+[[nodiscard]] std::string tenant_name(std::uint32_t id);
+
+// Root a fresh request for `tenant`: new request id, no parent span.
+[[nodiscard]] RequestContext begin_request(const std::string& tenant);
+
+// RAII: install `context` on this thread, restore the previous context on
+// scope exit (including unwinding). The kernel wraps every event dispatch
+// in one of these; user code wraps request entry points.
+class ContextScope {
+ public:
+  explicit ContextScope(const RequestContext& context) noexcept
+      : saved_(current_context()) {
+    current_context() = context;
+  }
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+  ~ContextScope() { current_context() = saved_; }
+
+ private:
+  RequestContext saved_;
+};
+
+}  // namespace lsdf::obs

@@ -154,6 +154,24 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return instrument;
 }
 
+HdrHistogram& MetricsRegistry::hdr_histogram(const std::string& name,
+                                             const Labels& labels) {
+  const chk::LockGuard lock(mutex_);
+  const std::string key = key_of(name, labels);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    LSDF_REQUIRE(it->second.kind == InstrumentKind::kHdrHistogram,
+                 name + " already registered as a different kind");
+    return *it->second.hdr;
+  }
+  HdrHistogram& instrument = hdr_histograms_.emplace_back();
+  Entry entry{name, labels, InstrumentKind::kHdrHistogram, nullptr, nullptr,
+              nullptr};
+  entry.hdr = &instrument;
+  entries_.emplace(key, std::move(entry));
+  return instrument;
+}
+
 double MetricsRegistry::gauge_value(const std::string& name,
                                     const Labels& labels) const {
   const chk::LockGuard lock(mutex_);
@@ -222,6 +240,16 @@ std::vector<InstrumentSnapshot> MetricsRegistry::snapshot() const {
             std::numeric_limits<double>::infinity(), cumulative);
         break;
       }
+      case InstrumentKind::kHdrHistogram: {
+        const HdrHistogram& h = *entry.hdr;
+        snap.value = h.sum();
+        snap.count = h.count();
+        snap.max = h.max_value();
+        for (const double q : export_quantiles()) {
+          snap.quantiles.emplace_back(q, h.quantile(q));
+        }
+        break;
+      }
     }
     out.push_back(std::move(snap));
   }
@@ -236,10 +264,25 @@ std::string format_labels(const Labels& labels) {
   for (const auto& [k, v] : labels) {
     if (!first) out << ',';
     first = false;
-    out << k << "=\"" << v << '"';
+    out << k << "=\"";
+    // Prometheus exposition escaping: backslash, double quote, newline.
+    for (const char c : v) {
+      switch (c) {
+        case '\\': out << "\\\\"; break;
+        case '"': out << "\\\""; break;
+        case '\n': out << "\\n"; break;
+        default: out << c;
+      }
+    }
+    out << '"';
   }
   out << '}';
   return out.str();
+}
+
+const std::vector<double>& export_quantiles() {
+  static const std::vector<double> quantiles{0.5, 0.9, 0.99, 0.999};
+  return quantiles;
 }
 
 namespace {
@@ -262,6 +305,20 @@ Labels with_le(const Labels& labels, double bound) {
   return out;
 }
 
+Labels with_quantile(const Labels& labels, const std::string& q) {
+  Labels out = labels;
+  out.emplace_back("quantile", q);
+  return out;
+}
+
+std::string quantile_field(double q) {
+  if (q == 0.5) return "p50";
+  if (q == 0.9) return "p90";
+  if (q == 0.99) return "p99";
+  if (q == 0.999) return "p999";
+  return "q" + render_value(q);
+}
+
 }  // namespace
 
 std::string MetricsRegistry::to_prometheus() const {
@@ -270,9 +327,11 @@ std::string MetricsRegistry::to_prometheus() const {
   std::string last_typed;
   for (const InstrumentSnapshot& snap : snaps) {
     if (snap.name != last_typed) {
-      const char* type = snap.kind == InstrumentKind::kCounter ? "counter"
-                         : snap.kind == InstrumentKind::kGauge ? "gauge"
-                                                               : "histogram";
+      const char* type = snap.kind == InstrumentKind::kCounter   ? "counter"
+                         : snap.kind == InstrumentKind::kGauge   ? "gauge"
+                         : snap.kind == InstrumentKind::kHistogram
+                             ? "histogram"
+                             : "summary";
       out << "# TYPE " << snap.name << ' ' << type << '\n';
       last_typed = snap.name;
     }
@@ -293,6 +352,21 @@ std::string MetricsRegistry::to_prometheus() const {
         out << snap.name << "_count" << format_labels(snap.labels) << ' '
             << snap.count << '\n';
         break;
+      case InstrumentKind::kHdrHistogram:
+        // Prometheus summary: pre-computed quantiles; the exact recorded
+        // max travels as quantile="1".
+        for (const auto& [q, value] : snap.quantiles) {
+          out << snap.name
+              << format_labels(with_quantile(snap.labels, render_value(q)))
+              << ' ' << render_value(value) << '\n';
+        }
+        out << snap.name << format_labels(with_quantile(snap.labels, "1"))
+            << ' ' << render_value(snap.max) << '\n';
+        out << snap.name << "_sum" << format_labels(snap.labels) << ' '
+            << render_value(snap.value) << '\n';
+        out << snap.name << "_count" << format_labels(snap.labels) << ' '
+            << snap.count << '\n';
+        break;
     }
   }
   return out.str();
@@ -303,7 +377,26 @@ std::string MetricsRegistry::to_csv() const {
   std::ostringstream out;
   out << "name,labels,field,value\n";
   for (const InstrumentSnapshot& snap : snaps) {
-    const std::string labels = format_labels(snap.labels);
+    // RFC 4180: the quoted labels field doubles any embedded quote. The
+    // field carries the raw `{k="v"}` rendering, not the Prometheus form —
+    // backslash escapes would leak a second quoting convention into CSV.
+    std::string labels;
+    if (!snap.labels.empty()) {
+      labels += '{';
+      bool first = true;
+      for (const auto& [key, value] : snap.labels) {
+        if (!first) labels += ',';
+        first = false;
+        labels += key;
+        labels += "=\"\"";
+        for (const char c : value) {
+          labels += c;
+          if (c == '"') labels += '"';
+        }
+        labels += "\"\"";
+      }
+      labels += '}';
+    }
     switch (snap.kind) {
       case InstrumentKind::kCounter:
       case InstrumentKind::kGauge:
@@ -320,6 +413,18 @@ std::string MetricsRegistry::to_csv() const {
               << render_value(bound) << ',' << cumulative << '\n';
         }
         break;
+      case InstrumentKind::kHdrHistogram:
+        out << snap.name << ",\"" << labels << "\",sum,"
+            << render_value(snap.value) << '\n';
+        out << snap.name << ",\"" << labels << "\",count," << snap.count
+            << '\n';
+        for (const auto& [q, value] : snap.quantiles) {
+          out << snap.name << ",\"" << labels << "\","
+              << quantile_field(q) << ',' << render_value(value) << '\n';
+        }
+        out << snap.name << ",\"" << labels << "\",max,"
+            << render_value(snap.max) << '\n';
+        break;
     }
   }
   return out.str();
@@ -329,6 +434,7 @@ void MetricsRegistry::reset_values() {
   const chk::LockGuard lock(mutex_);
   for (auto& counter : counters_) counter.reset();
   for (auto& histogram : histograms_) histogram.reset();
+  for (auto& hdr : hdr_histograms_) hdr.reset();
   for (auto& gauge : gauges_) {
     if (!gauge.bound()) gauge.set(0.0);
   }

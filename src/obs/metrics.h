@@ -26,6 +26,7 @@
 
 #include "chk/lock_registry.h"
 #include "chk/thread_annotations.h"
+#include "obs/hdr_histogram.h"
 
 namespace lsdf::obs {
 
@@ -33,7 +34,7 @@ namespace lsdf::obs {
 // canonicalised (sorted by key) when used as a registry key.
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
-enum class InstrumentKind { kCounter, kGauge, kHistogram };
+enum class InstrumentKind { kCounter, kGauge, kHistogram, kHdrHistogram };
 
 // Monotonic event count. add() is a single relaxed fetch_add.
 class Counter {
@@ -118,6 +119,10 @@ struct InstrumentSnapshot {
   // Histogram only: (upper bound, cumulative count) pairs; the final entry
   // is (+Inf, total count).
   std::vector<std::pair<double, std::int64_t>> cumulative_buckets;
+  // HdrHistogram only: (quantile, value) for p50/p90/p99/p999, plus the
+  // exact recorded maximum.
+  std::vector<std::pair<double, double>> quantiles;
+  double max = 0.0;
 };
 
 class MetricsRegistry {
@@ -139,6 +144,13 @@ class MetricsRegistry {
   [[nodiscard]] Histogram& histogram(const std::string& name,
                                      std::vector<double> bounds,
                                      const Labels& labels = {});
+  // Log-bucketed latency histogram (see obs/hdr_histogram.h). The house
+  // rule — enforced by tools/lint.py — is that every `*_seconds` latency
+  // instrument in src/ uses this; fixed-boundary histograms stay for
+  // size/count distributions. Exported as a Prometheus summary with
+  // quantile="0.5/0.9/0.99/0.999/1" series.
+  [[nodiscard]] HdrHistogram& hdr_histogram(const std::string& name,
+                                            const Labels& labels = {});
 
   // Read helpers (0 / nullptr when the instrument does not exist).
   [[nodiscard]] double gauge_value(const std::string& name,
@@ -172,6 +184,7 @@ class MetricsRegistry {
     Counter* counter = nullptr;
     Gauge* gauge = nullptr;
     Histogram* histogram = nullptr;
+    HdrHistogram* hdr = nullptr;
   };
 
   [[nodiscard]] static std::string key_of(const std::string& name,
@@ -187,11 +200,17 @@ class MetricsRegistry {
   std::deque<Counter> counters_ LSDF_GUARDED_BY(mutex_);
   std::deque<Gauge> gauges_ LSDF_GUARDED_BY(mutex_);
   std::deque<Histogram> histograms_ LSDF_GUARDED_BY(mutex_);
+  std::deque<HdrHistogram> hdr_histograms_ LSDF_GUARDED_BY(mutex_);
   std::map<std::string, Entry> entries_
       LSDF_GUARDED_BY(mutex_);  // canonical key -> entry
 };
 
 // Canonical label-set renderer: {k="v",k2="v2"} (empty string when empty).
+// Label values are escaped per the Prometheus exposition rules (`\` `"` and
+// newline), so adversarial label text cannot corrupt the export.
 [[nodiscard]] std::string format_labels(const Labels& labels);
+
+// The quantiles every HdrHistogram exports: p50/p90/p99/p999.
+[[nodiscard]] const std::vector<double>& export_quantiles();
 
 }  // namespace lsdf::obs

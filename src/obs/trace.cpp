@@ -1,8 +1,11 @@
 #include "obs/trace.h"
 
 #include <cstdio>
-#include <fstream>
+#include <set>
 #include <sstream>
+
+#include "common/file_util.h"
+#include "obs/flight_recorder.h"
 
 namespace lsdf::obs {
 
@@ -45,8 +48,16 @@ int Tracer::tid_of_current_thread() {
 void Tracer::emit_complete(
     std::string name, std::string category, std::int64_t start_us,
     std::int64_t duration_us,
-    std::vector<std::pair<std::string, std::string>> args) {
+    std::vector<std::pair<std::string, std::string>> args,
+    std::uint64_t span_id) {
   if (!enabled()) return;
+  const RequestContext context = current_context();
+  // Mirror the span into the flight recorder (lock-free; outside our mutex)
+  // so postmortems show the recent cross-subsystem timeline.
+  FlightRecorder& recorder = FlightRecorder::global();
+  if (recorder.enabled()) {
+    recorder.record_at(start_us + duration_us, 'S', name);
+  }
   const chk::LockGuard lock(mutex_);
   TraceEvent event;
   event.name = std::move(name);
@@ -56,6 +67,11 @@ void Tracer::emit_complete(
   event.duration_us = duration_us;
   event.pid = pid_.load(std::memory_order_relaxed);
   event.tid = tid_of_current_thread();
+  event.request_id = context.request_id;
+  event.tenant = context.tenant;
+  event.parent_span = context.span_id;
+  event.span_id = (span_id == 0 && context.active()) ? next_span_id()
+                                                     : span_id;
   event.args = std::move(args);
   events_.push_back(std::move(event));
 }
@@ -65,6 +81,9 @@ void Tracer::emit_instant(
     std::vector<std::pair<std::string, std::string>> args) {
   if (!enabled()) return;
   const std::int64_t now = now_us();
+  const RequestContext context = current_context();
+  FlightRecorder& recorder = FlightRecorder::global();
+  if (recorder.enabled()) recorder.record_at(now, 'I', name);
   const chk::LockGuard lock(mutex_);
   TraceEvent event;
   event.name = std::move(name);
@@ -73,6 +92,9 @@ void Tracer::emit_instant(
   event.timestamp_us = now;
   event.pid = pid_.load(std::memory_order_relaxed);
   event.tid = tid_of_current_thread();
+  event.request_id = context.request_id;
+  event.tenant = context.tenant;
+  event.parent_span = context.span_id;
   event.args = std::move(args);
   events_.push_back(std::move(event));
 }
@@ -118,6 +140,11 @@ std::string Tracer::to_chrome_json() const {
   std::ostringstream out;
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
+  // Requests already seen during export: the first slice of a request gets
+  // a flow-start ("s") companion event, later slices get flow-steps ("t"),
+  // so Perfetto draws arrows chaining one request across subsystems and
+  // sim-event boundaries.
+  std::set<std::uint64_t> flows_started;
   for (const TraceEvent& event : events_) {
     if (!first) out << ',';
     first = false;
@@ -129,10 +156,11 @@ std::string Tracer::to_chrome_json() const {
         << ",\"pid\":" << event.pid << ",\"tid\":" << event.tid;
     if (event.phase == 'X') out << ",\"dur\":" << event.duration_us;
     if (event.phase == 'i') out << ",\"s\":\"t\"";
-    if (!event.args.empty()) {
+    const bool attributed = event.request_id != 0;
+    if (!event.args.empty() || attributed) {
       out << ",\"args\":{";
       bool first_arg = true;
-      for (const auto& [key, value] : event.args) {
+      auto arg = [&](const std::string& key, const std::string& value) {
         if (!first_arg) out << ',';
         first_arg = false;
         out << '"';
@@ -140,23 +168,37 @@ std::string Tracer::to_chrome_json() const {
         out << "\":\"";
         append_json_escaped(out, value);
         out << '"';
+      };
+      if (attributed) {
+        arg("request", "r" + std::to_string(event.request_id));
+        if (event.span_id != 0) {
+          arg("span", "s" + std::to_string(event.span_id));
+        }
+        if (event.parent_span != 0) {
+          arg("parent", "s" + std::to_string(event.parent_span));
+        }
+        const std::string tenant = tenant_name(event.tenant);
+        if (!tenant.empty()) arg("tenant", tenant);
       }
+      for (const auto& [key, value] : event.args) arg(key, value);
       out << '}';
     }
     out << '}';
+    if (attributed && event.phase == 'X') {
+      const bool started = !flows_started.insert(event.request_id).second;
+      out << ",{\"name\":\"r" << event.request_id
+          << "\",\"cat\":\"request\",\"ph\":\"" << (started ? 't' : 's')
+          << "\",\"id\":" << event.request_id
+          << ",\"ts\":" << event.timestamp_us << ",\"pid\":" << event.pid
+          << ",\"tid\":" << event.tid << '}';
+    }
   }
   out << "]}";
   return out.str();
 }
 
 Status Tracer::write_chrome_json(const std::string& path) const {
-  std::ofstream file(path, std::ios::trunc);
-  if (!file) return Status(StatusCode::kUnavailable, "cannot open " + path);
-  file << to_chrome_json() << '\n';
-  if (!file.good()) {
-    return Status(StatusCode::kUnavailable, "short write to " + path);
-  }
-  return Status::ok();
+  return write_file_atomic(path, to_chrome_json() + '\n');
 }
 
 }  // namespace lsdf::obs

@@ -21,11 +21,14 @@
 #include "chk/lock_registry.h"
 #include "chk/thread_annotations.h"
 #include "common/status.h"
+#include "obs/context.h"
 
 namespace lsdf::obs {
 
-// One Chrome trace_event; only the "X" (complete) and "i" (instant) phases
-// are emitted — enough for span timelines.
+// One Chrome trace_event; the "X" (complete) and "i" (instant) phases are
+// emitted directly, and the exporter synthesises "s"/"t" flow events from
+// the request attribution so one request's spans chain end-to-end in
+// Perfetto.
 struct TraceEvent {
   std::string name;
   std::string category;
@@ -34,6 +37,12 @@ struct TraceEvent {
   std::int64_t duration_us = 0;
   int pid = 1;
   int tid = 0;
+  // Causal attribution, captured from the emitting thread's RequestContext
+  // (all 0 when no request is in scope).
+  std::uint64_t request_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
+  std::uint32_t tenant = 0;
   // Optional metadata shown in the Perfetto side panel.
   std::vector<std::pair<std::string, std::string>> args;
 };
@@ -70,10 +79,13 @@ class Tracer {
   void set_pid(int pid) { pid_.store(pid, std::memory_order_relaxed); }
 
   // Emit a complete ("X") event covering [start_us, start_us + duration].
+  // The emitting thread's RequestContext is attached automatically;
+  // `span_id` 0 allocates a fresh span id when a request is in scope.
   void emit_complete(
       std::string name, std::string category, std::int64_t start_us,
       std::int64_t duration_us,
-      std::vector<std::pair<std::string, std::string>> args = {});
+      std::vector<std::pair<std::string, std::string>> args = {},
+      std::uint64_t span_id = 0);
   // Emit an instant ("i") event at now.
   void emit_instant(
       std::string name, std::string category,
@@ -103,7 +115,10 @@ class Tracer {
 };
 
 // RAII scoped span: records start on construction and emits a complete
-// event on destruction. ~Free when the tracer is disabled.
+// event on destruction. ~Free when the tracer is disabled. When a request
+// is in scope the span allocates a span id and installs itself as the
+// thread's innermost span for its lifetime, so nested spans (and events
+// scheduled from inside it) parent correctly.
 class Span {
  public:
   Span(Tracer& tracer, std::string name, std::string category = "lsdf")
@@ -112,6 +127,13 @@ class Span {
       name_ = std::move(name);
       category_ = std::move(category);
       start_us_ = tracer_.now_us();
+      RequestContext& context = current_context();
+      if (context.active()) {
+        self_span_ = next_span_id();
+        parent_span_ = context.span_id;
+        context.span_id = self_span_;
+        pushed_ = true;
+      }
     }
   }
   Span(const Span&) = delete;
@@ -123,12 +145,18 @@ class Span {
     if (active_) args_.emplace_back(std::move(key), std::move(value));
   }
 
-  // End the span early (idempotent).
+  // End the span early (idempotent). Must run on the constructing thread
+  // (RAII scope), where it pops itself off the request context.
   void finish() {
     if (!active_) return;
     active_ = false;
+    if (pushed_) {
+      current_context().span_id = parent_span_;
+      pushed_ = false;
+    }
     tracer_.emit_complete(std::move(name_), std::move(category_), start_us_,
-                          tracer_.now_us() - start_us_, std::move(args_));
+                          tracer_.now_us() - start_us_, std::move(args_),
+                          self_span_);
   }
 
  private:
@@ -137,6 +165,9 @@ class Span {
   std::string name_;
   std::string category_;
   std::int64_t start_us_ = 0;
+  std::uint64_t self_span_ = 0;
+  std::uint64_t parent_span_ = 0;
+  bool pushed_ = false;
   std::vector<std::pair<std::string, std::string>> args_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/flight_recorder.h"
+
 namespace lsdf::sim {
 
 Simulator::Simulator()
@@ -9,9 +11,8 @@ Simulator::Simulator()
           obs::MetricsRegistry::global().counter("lsdf_sim_events_total")),
       queue_depth_metric_(
           obs::MetricsRegistry::global().gauge("lsdf_sim_queue_depth")),
-      event_lag_metric_(obs::MetricsRegistry::global().histogram(
-          "lsdf_sim_event_lag_seconds",
-          obs::Histogram::exponential_bounds(1e-6, 10.0, 12))) {}
+      event_lag_metric_(obs::MetricsRegistry::global().hdr_histogram(
+          "lsdf_sim_event_lag_seconds")) {}
 
 void Simulator::heap_pop() {
   const QueueEntry last = heap_.back();
@@ -62,6 +63,7 @@ EventId Simulator::schedule_at(SimTime t, Callback callback) {
   Slot& slot = slot_at(index);
   slot.callback = std::move(callback);
   slot.enqueued = now_;
+  slot.context = obs::current_context();
   queue_push(QueueEntry{t, next_seq_++, index, slot.generation});
   ++live_events_;
   return EventId{index, slot.generation};
@@ -150,11 +152,19 @@ void Simulator::dispatch_top() {
   fingerprint_.fold(entry.seq + 1);
   fingerprint_.fold(static_cast<std::uint64_t>(entry.time.nanos()));
   fingerprint_.fold(entry.seq);
+  // Restore the context captured at the schedule site for the callback's
+  // duration, so spans/metrics it emits (and events it schedules) inherit
+  // the originating request.
+  const obs::ContextScope request_scope(slot.context);
   // Telemetry is batched/sampled on a 64-event cadence (exact again at every
   // drain/deadline flush) — see the field comment in simulator.h.
   if ((executed_ & (kObsSamplePeriod - 1)) == 0) {
     flush_observability();
-    event_lag_metric_.observe((entry.time - slot.enqueued).seconds());
+    event_lag_metric_.record((entry.time - slot.enqueued).seconds());
+    obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+    if (recorder.enabled()) {
+      recorder.record_at(entry.time.nanos() / 1000, 'E', "sim.dispatch");
+    }
   }
   // Run the callback in place in its (stable-address) slot: dispatch moves
   // no callable state, and invoke+destroy share one type-erased hop.

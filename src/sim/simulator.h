@@ -28,6 +28,7 @@
 #include "chk/fingerprint.h"
 #include "common/require.h"
 #include "common/units.h"
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "sim/inline_callback.h"
 
@@ -73,6 +74,7 @@ class Simulator {
     Slot& slot = slot_at(index);
     slot.callback.emplace(std::forward<F>(fn));
     slot.enqueued = now_;
+    slot.context = obs::current_context();
     queue_push(QueueEntry{t, next_seq_++, index, slot.generation});
     ++live_events_;
     return EventId{index, slot.generation};
@@ -145,6 +147,11 @@ class Simulator {
     std::uint32_t generation = 0;
     std::uint32_t next_free = EventId::kNilIndex;
     SimTime enqueued;  // when schedule_at ran, for the queue-dwell metric
+    // Causal request context captured at the schedule site and restored
+    // around the dispatched callback (DESIGN.md §4g). Observability-only:
+    // the kernel never branches on it, so it cannot perturb dispatch order
+    // or the fingerprint.
+    obs::RequestContext context;
   };
 
   // 24 bytes: what the ready queue actually has to move around while
@@ -280,7 +287,7 @@ class Simulator {
   std::uint64_t reported_events_ = 0;
   obs::Counter& events_metric_;
   obs::Gauge& queue_depth_metric_;
-  obs::Histogram& event_lag_metric_;
+  obs::HdrHistogram& event_lag_metric_;
 };
 
 // A counted resource with a FIFO wait queue — e.g. tape drives, ingest

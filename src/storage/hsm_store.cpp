@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace lsdf::storage {
 
 HsmStore::HsmStore(sim::Simulator& simulator, DiskArray& cache,
@@ -24,9 +26,8 @@ HsmStore::HsmStore(sim::Simulator& simulator, DiskArray& cache,
           "lsdf_hsm_bytes_migrated_total")),
       bytes_staged_metric_(obs::MetricsRegistry::global().counter(
           "lsdf_hsm_bytes_staged_total")),
-      recall_latency_metric_(obs::MetricsRegistry::global().histogram(
-          "lsdf_hsm_recall_latency_seconds",
-          obs::Histogram::exponential_bounds(1.0, 3.0, 9))) {
+      recall_latency_metric_(obs::MetricsRegistry::global().hdr_histogram(
+          "lsdf_hsm_recall_latency_seconds")) {
   LSDF_REQUIRE(config_.low_watermark <= config_.high_watermark,
                "low watermark above high watermark");
   LSDF_REQUIRE(config_.high_watermark <= 1.0, "watermark above 1.0");
@@ -283,8 +284,15 @@ void HsmStore::stage_then_read(const std::string& object, IoCallback done) {
     staged.last_access = simulator_.now();
     stats_.bytes_staged += result.size;
     bytes_staged_metric_.add(result.size.count());
-    recall_latency_metric_.observe(
+    recall_latency_metric_.record(
         (simulator_.now() - request_start).seconds());
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled() && tracer.sim_clocked()) {
+      tracer.emit_complete(
+          "hsm.stage", "hsm", request_start.nanos() / 1000,
+          (simulator_.now() - request_start).nanos() / 1000,
+          {{"object", object}, {"bytes", std::to_string(result.size.count())}});
+    }
     // The staged copy is now on disk; the caller's read streams from disk.
     cache_.read(staged.size, std::move(done));
   });

@@ -133,7 +133,7 @@ class HsmStore {
   obs::Counter& direct_reads_metric_;
   obs::Counter& bytes_migrated_metric_;
   obs::Counter& bytes_staged_metric_;
-  obs::Histogram& recall_latency_metric_;
+  obs::HdrHistogram& recall_latency_metric_;
 };
 
 }  // namespace lsdf::storage

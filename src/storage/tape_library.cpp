@@ -22,11 +22,8 @@ TapeLibrary::TapeLibrary(sim::Simulator& simulator, TapeConfig config)
           "lsdf_tape_mount_hits_total")),
       aborted_metric_(obs::MetricsRegistry::global().counter(
           "lsdf_tape_aborted_ops_total")),
-      recall_latency_metric_(obs::MetricsRegistry::global().histogram(
-          "lsdf_tape_recall_seconds",
-          // Recalls span seconds (mount hit, small object) to hours
-          // (deep queue); 1 s .. ~2 h in x3 steps.
-          obs::Histogram::exponential_bounds(1.0, 3.0, 9))) {
+      recall_latency_metric_(obs::MetricsRegistry::global().hdr_histogram(
+          "lsdf_tape_recall_seconds")) {
   LSDF_REQUIRE(config_.drive_count > 0, "tape library needs drives");
   LSDF_REQUIRE(config_.cartridge_count > 0, "tape library needs cartridges");
 }
@@ -325,7 +322,7 @@ void TapeLibrary::run_on_drive(std::size_t drive_index, Request request) {
             archive_bytes_metric_.add(request->size.count());
           } else {
             recall_bytes_metric_.add(request->size.count());
-            recall_latency_metric_.observe(
+            recall_latency_metric_.record(
                 (simulator_.now() - request->submitted).seconds());
           }
           if (request->done) {

@@ -149,7 +149,7 @@ class TapeLibrary {
   obs::Counter& mounts_metric_;
   obs::Counter& mount_hits_metric_;
   obs::Counter& aborted_metric_;
-  obs::Histogram& recall_latency_metric_;
+  obs::HdrHistogram& recall_latency_metric_;
 };
 
 }  // namespace lsdf::storage

@@ -9,8 +9,15 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
+#include "common/file_util.h"
 #include "common/require.h"
+#include "common/rng.h"
 #include "exec/thread_pool.h"
+#include "obs/context.h"
+#include "obs/flight_recorder.h"
+#include "obs/hdr_histogram.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
@@ -150,7 +157,8 @@ TEST(Export, CsvFormat) {
       "lat,\"\",count,1\n"
       "lat,\"\",le_1,1\n"
       "lat,\"\",le_+Inf,1\n"
-      "ops,\"{op=\"read\"}\",value,3\n";
+      // RFC 4180: quotes inside the quoted labels field double.
+      "ops,\"{op=\"\"read\"\"}\",value,3\n";
   EXPECT_EQ(registry.to_csv(), expected);
 }
 
@@ -337,6 +345,321 @@ TEST(Integration, ThreadPoolCountsTasksInTheGlobalRegistry) {
   pool.wait_idle();
   EXPECT_EQ(ran.load(), 100);
   EXPECT_EQ(registry.counter_value("lsdf_exec_tasks_total"), before + 100);
+}
+
+// --- HdrHistogram ------------------------------------------------------------
+
+TEST(HdrHistogram, QuantilesMatchSortedOracleWithinOnePercent) {
+  // 10^6 log-uniform samples spanning nine decades (microseconds to tens of
+  // minutes, as latencies do) against the exact sorted-vector oracle.
+  HdrHistogram histogram;
+  lsdf::Rng rng(42);
+  std::vector<double> samples;
+  samples.reserve(1'000'000);
+  for (int i = 0; i < 1'000'000; ++i) {
+    const double value =
+        std::exp(rng.uniform(std::log(1e-6), std::log(1e3)));
+    samples.push_back(value);
+    histogram.record(value);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999, 0.9999}) {
+    const std::size_t rank = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(q * static_cast<double>(samples.size()))));
+    const double oracle = samples[rank - 1];
+    const double measured = histogram.quantile(q);
+    EXPECT_NEAR(measured, oracle, oracle * 0.01)
+        << "q=" << q << " oracle=" << oracle << " measured=" << measured;
+  }
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), samples.back());
+  EXPECT_EQ(histogram.count(), 1'000'000);
+}
+
+TEST(HdrHistogram, EdgeValuesAndReset) {
+  HdrHistogram histogram;
+  histogram.record(0.0);    // zero bucket
+  histogram.record(-5.0);   // negative clamps to the zero bucket
+  histogram.record(1e-300); // below range clamps to the smallest bucket
+  histogram.record(0.001);
+  EXPECT_EQ(histogram.count(), 4);
+  // The zero-bucket entries report as (at most) the smallest midpoint.
+  EXPECT_LE(histogram.quantile(0.25), 1e-10);
+  // max is tracked exactly, not at bucket resolution.
+  EXPECT_DOUBLE_EQ(histogram.max_value(), 0.001);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 0.001);
+  histogram.reset();
+  EXPECT_EQ(histogram.count(), 0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);
+}
+
+TEST(HdrHistogram, QuantileNeverExceedsRecordedMax) {
+  // A midpoint estimate above the true maximum would invent latency that
+  // never happened; the clamp keeps every quantile <= max.
+  HdrHistogram histogram;
+  histogram.record(1.000001);
+  for (const double q : {0.5, 0.99, 0.999}) {
+    EXPECT_LE(histogram.quantile(q), histogram.max_value());
+  }
+}
+
+TEST(MetricsRegistry, HdrHistogramExportsQuantilesAndMax) {
+  MetricsRegistry registry;
+  HdrHistogram& latency =
+      registry.hdr_histogram("req_seconds", {{"tenant", "katrin"}});
+  for (int i = 1; i <= 100; ++i) latency.record(i * 0.001);
+  const std::string prom = registry.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE req_seconds summary"), std::string::npos);
+  EXPECT_NE(prom.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(prom.find("req_seconds_count{tenant=\"katrin\"} 100"),
+            std::string::npos);
+  const std::string csv = registry.to_csv();
+  EXPECT_NE(csv.find("p999"), std::string::npos);
+  EXPECT_NE(csv.find("max"), std::string::npos);
+}
+
+// --- Request context ---------------------------------------------------------
+
+TEST(RequestContext, BeginRequestAllocatesIdsAndInternsTenant) {
+  const RequestContext a = begin_request("katrin");
+  const RequestContext b = begin_request("katrin");
+  const RequestContext c = begin_request("climate");
+  EXPECT_TRUE(a.active());
+  EXPECT_NE(a.request_id, b.request_id);
+  EXPECT_EQ(a.tenant, b.tenant);
+  EXPECT_NE(a.tenant, c.tenant);
+  EXPECT_EQ(tenant_name(a.tenant), "katrin");
+  EXPECT_EQ(tenant_name(c.tenant), "climate");
+  EXPECT_EQ(tenant_name(0xFFFFFFFF), "");  // unknown id, no crash
+}
+
+TEST(RequestContext, ScopeInstallsAndRestores) {
+  const RequestContext before = current_context();
+  {
+    const ContextScope outer(begin_request("t1"));
+    const RequestContext outer_ctx = current_context();
+    EXPECT_TRUE(outer_ctx.active());
+    {
+      const ContextScope inner(begin_request("t2"));
+      EXPECT_NE(current_context().request_id, outer_ctx.request_id);
+    }
+    EXPECT_EQ(current_context().request_id, outer_ctx.request_id);
+  }
+  EXPECT_EQ(current_context().request_id, before.request_id);
+}
+
+TEST(RequestContext, PropagatesAcrossScheduledEvents) {
+  // The context active at schedule time — not at dispatch time — must be
+  // the one the callback sees, including through chained schedules.
+  sim::Simulator sim;
+  const RequestContext request = begin_request("katrin");
+  std::uint64_t seen_outer = 0;
+  std::uint64_t seen_chained = 0;
+  {
+    const ContextScope scope(request);
+    sim.schedule_after(1_s, [&] {
+      seen_outer = current_context().request_id;
+      sim.schedule_after(1_s,
+                         [&] { seen_chained = current_context().request_id; });
+    });
+  }
+  // Unrelated event scheduled outside the scope: must not inherit it.
+  std::uint64_t seen_unrelated = ~0ULL;
+  sim.schedule_after(1500_ms,
+                     [&] { seen_unrelated = current_context().request_id; });
+  sim.run();
+  EXPECT_EQ(seen_outer, request.request_id);
+  EXPECT_EQ(seen_chained, request.request_id);
+  EXPECT_EQ(seen_unrelated, 0u);
+}
+
+TEST(RequestContext, PropagatesAcrossThreadPoolHops) {
+  exec::ThreadPool pool(4);
+  const RequestContext request = begin_request("climate");
+  std::atomic<int> matches{0};
+  {
+    const ContextScope scope(request);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&] {
+        if (current_context().request_id == request.request_id &&
+            current_context().tenant == request.tenant) {
+          matches.fetch_add(1);
+        }
+      });
+    }
+  }
+  pool.wait_idle();
+  EXPECT_EQ(matches.load(), 64);
+}
+
+// --- Flight recorder ---------------------------------------------------------
+
+TEST(FlightRecorder, RingWrapsAndDumpShowsNewestEvents) {
+  FlightRecorder recorder;
+  recorder.set_capacity(8);
+  recorder.enable(true);
+  for (int i = 0; i < 20; ++i) {
+    recorder.record_at(i, 'M', "mark-" + std::to_string(i));
+  }
+  recorder.enable(false);
+  EXPECT_EQ(recorder.recorded(), 20u);
+  const std::string dump = recorder.dump();
+  // Only the last 8 survive the wrap; older entries are overwritten.
+  EXPECT_EQ(dump.find("mark-11"), std::string::npos);
+  EXPECT_NE(dump.find("mark-12"), std::string::npos);
+  EXPECT_NE(dump.find("mark-19"), std::string::npos);
+  EXPECT_NE(dump.find("12 overwritten"), std::string::npos);
+}
+
+TEST(FlightRecorder, RecordsRequestAttributionAndTruncatesNames) {
+  FlightRecorder recorder;
+  recorder.enable(true);
+  {
+    const ContextScope scope(begin_request("anka"));
+    recorder.record_at(1, 'I', std::string(100, 'x'));  // > 42 chars
+  }
+  recorder.enable(false);
+  const std::string dump = recorder.dump();
+  EXPECT_NE(dump.find("anka"), std::string::npos);
+  EXPECT_NE(dump.find("xxxx"), std::string::npos);
+  EXPECT_EQ(dump.find(std::string(43, 'x')), std::string::npos);
+}
+
+TEST(FlightRecorder, DisabledRecorderRecordsNothing) {
+  FlightRecorder recorder;
+  recorder.record_at(1, 'M', "dropped");
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_EQ(recorder.dump().find("dropped"), std::string::npos);
+}
+
+TEST(FlightRecorder, FaultHookWritesPostmortemFile) {
+  FlightRecorder& recorder = FlightRecorder::global();
+  recorder.clear();
+  recorder.set_postmortem_dir(::testing::TempDir());
+  recorder.enable(true);
+  recorder.record_at(5, 'S', "transfer");
+  recorder.on_fault("router-a");
+  recorder.enable(false);
+  const std::string dump = recorder.dump();
+  EXPECT_NE(dump.find("fault:router-a"), std::string::npos);
+  // on_fault wrote postmortem-fault-router-a-<n>.txt into the dir.
+  const Result<std::string> postmortem = recorder.write_postmortem("test");
+  ASSERT_TRUE(postmortem.is_ok());
+  std::ifstream in(postmortem.value());
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("transfer"), std::string::npos);
+  recorder.set_postmortem_dir("");
+  recorder.clear();
+}
+
+TEST(FlightRecorder, ContractFailureDumpsTimeline) {
+  FlightRecorder& recorder = FlightRecorder::global();
+  recorder.clear();
+  recorder.set_postmortem_dir(::testing::TempDir());
+  recorder.enable(true);  // installs the require.h hook
+  recorder.record_at(1, 'M', "before-the-crash");
+  EXPECT_THROW(
+      { LSDF_REQUIRE(false, "obs_test deliberate failure"); },
+      lsdf::ContractViolation);
+  recorder.enable(false);
+  // The hook recorded the failure itself into the ring (the 42-char name
+  // keeps the site — file:line — and drops the tail of the message).
+  EXPECT_NE(recorder.dump().find("obs_test.cpp"), std::string::npos);
+  recorder.set_postmortem_dir("");
+  recorder.clear();
+}
+
+// --- Causal trace export -----------------------------------------------------
+
+TEST(Tracer, SpansCarryRequestAttributionAndFlowEvents) {
+  Tracer tracer;
+  tracer.enable(true);
+  const RequestContext request = begin_request("katrin");
+  {
+    const ContextScope scope(request);
+    Span parent(tracer, "adal.read", "adal");
+    {
+      Span child(tracer, "hsm.stage", "hsm");
+      child.finish();
+    }
+    parent.finish();
+  }
+  const std::string json = tracer.to_chrome_json();
+  const std::string request_arg =
+      "\"request\":\"r" + std::to_string(request.request_id) + "\"";
+  EXPECT_NE(json.find(request_arg), std::string::npos);
+  EXPECT_NE(json.find("\"tenant\":\"katrin\""), std::string::npos);
+  // Flow binding: one "s" (start) for the request, then "t" (step)
+  // companions tie the spans into one causal chain in Perfetto.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  const std::string flow_id = "\"id\":" + std::to_string(request.request_id);
+  EXPECT_NE(json.find(flow_id), std::string::npos);
+}
+
+TEST(Tracer, ChildSpanParentLinksToEnclosingSpan) {
+  Tracer tracer;
+  tracer.enable(true);
+  {
+    const ContextScope scope(begin_request("climate"));
+    Span parent(tracer, "outer", "test");
+    const std::uint64_t parent_span = current_context().span_id;
+    EXPECT_NE(parent_span, 0u);
+    {
+      Span child(tracer, "inner", "test");
+      EXPECT_NE(current_context().span_id, parent_span);
+      child.finish();
+    }
+    // The child restored the parent's span id on finish.
+    EXPECT_EQ(current_context().span_id, parent_span);
+    parent.finish();
+    const std::string json = tracer.to_chrome_json();
+    EXPECT_NE(json.find("\"parent\":\"s" + std::to_string(parent_span) +
+                        "\""),
+              std::string::npos);
+  }
+}
+
+TEST(Tracer, UnattributedEventsEmitNoFlows) {
+  Tracer tracer;
+  tracer.enable(true);
+  tracer.emit_complete("no-request", "test", 0, 5);
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_EQ(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_EQ(json.find("\"request\""), std::string::npos);
+}
+
+// --- Export hygiene ----------------------------------------------------------
+
+TEST(Export, PrometheusEscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.counter("weird_total", {{"path", "a\\b\"c\nd"}}).add(1);
+  const std::string prom = registry.to_prometheus();
+  EXPECT_NE(prom.find("a\\\\b\\\"c\\nd"), std::string::npos);
+  EXPECT_EQ(prom.find("c\nd"), std::string::npos);  // no raw newline inside
+}
+
+TEST(Export, CsvQuotesEmbeddedQuotes) {
+  MetricsRegistry registry;
+  registry.counter("weird_total", {{"name", "say \"hi\""}}).add(1);
+  const std::string csv = registry.to_csv();
+  // RFC 4180: embedded quotes double.
+  EXPECT_NE(csv.find("say \"\"hi\"\""), std::string::npos);
+}
+
+TEST(FileUtil, AtomicWriteReplacesAndCleansUp) {
+  const std::string path = ::testing::TempDir() + "lsdf_atomic_test.txt";
+  ASSERT_TRUE(write_file_atomic(path, "first").is_ok());
+  ASSERT_TRUE(write_file_atomic(path, "second").is_ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "second");
+  // No .tmp residue after a successful rename.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  EXPECT_FALSE(write_file_atomic("/no/such/dir/file.txt", "x").is_ok());
 }
 
 }  // namespace

@@ -18,6 +18,9 @@
 #include "common/rng.h"
 #include "net/topology.h"
 #include "net/transfer_engine.h"
+#include "obs/context.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "storage/hsm_store.h"
 
@@ -200,6 +203,73 @@ TEST(Determinism, HsmWithReadCacheReplays) {
   // And caching must actually change the execution, not be a no-op.
   EXPECT_NE(hsm_scenario(1, true).fingerprint,
             hsm_scenario(1, false).fingerprint);
+}
+
+// Observability must be a pure observer (DESIGN.md §4g hard constraint):
+// the same model with the tracer, request contexts and flight recorder all
+// engaged must produce the byte-identical kernel fingerprint as running it
+// dark. Any span/metric/ring write that branches simulation behavior —
+// an extra scheduled event, a reordered callback — diverges this digest.
+std::uint64_t traced_fingerprint(bool traced) {
+  sim::Simulator sim;
+  obs::Tracer& tracer = obs::Tracer::global();
+  obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+  if (traced) {
+    tracer.enable(true);
+    tracer.use_sim_clock([&sim] { return sim.now().nanos(); });
+    recorder.enable(true);
+  }
+  net::Topology topo;
+  const net::NodeId core = topo.add_node("core");
+  std::vector<net::NodeId> leaves;
+  for (int i = 0; i < 4; ++i) {
+    leaves.push_back(topo.add_node("leaf" + std::to_string(i)));
+    topo.add_duplex_link(core, leaves.back(),
+                         Rate::gigabits_per_second(1.0), 1_ms);
+  }
+  net::TransferEngine engine(sim, topo);
+  int completed = 0;
+  for (int i = 0; i < 10; ++i) {
+    const net::NodeId src = leaves[i % leaves.size()];
+    const net::NodeId dst = leaves[(i + 1) % leaves.size()];
+    const auto size = Bytes((i + 1) * 1'000'000LL);
+    const auto start = SimDuration(1000LL * i);
+    const std::string tenant = i % 2 == 0 ? "katrin" : "climate";
+    sim.schedule_after(start, [&sim, &engine, src, dst, size, tenant,
+                               &completed] {
+      // Root a request per transfer so context capture/restore runs on the
+      // schedule and dispatch paths the fingerprint covers.
+      const obs::ContextScope scope(obs::begin_request(tenant));
+      auto id = engine.start_transfer(
+          src, dst, size, net::TransferOptions{},
+          [&sim, &completed](const net::TransferCompletion&) {
+            ++completed;
+            sim.schedule_after(SimDuration(10), [] {});
+          });
+      (void)id;
+    });
+  }
+  sim.run();
+  EXPECT_EQ(completed, 10);
+  if (traced) {
+    EXPECT_GT(tracer.event_count(), 0u);
+    EXPECT_GT(recorder.recorded(), 0u);
+    recorder.enable(false);
+    recorder.clear();
+    tracer.enable(false);
+    tracer.use_steady_clock();
+    tracer.clear();
+  }
+  return sim.fingerprint();
+}
+
+TEST(Determinism, TracingOnOffFingerprintIdentical) {
+  const std::uint64_t dark = traced_fingerprint(false);
+  const std::uint64_t traced = traced_fingerprint(true);
+  EXPECT_EQ(dark, traced)
+      << "tracing/flight-recording changed the simulated event sequence";
+  // And again dark, guarding against one-time state the traced run leaves.
+  EXPECT_EQ(dark, traced_fingerprint(false));
 }
 
 TEST(Determinism, DistinctSeedsDiverge) {

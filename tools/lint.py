@@ -35,6 +35,13 @@ Rules (see DESIGN.md "Correctness tooling"):
                 sim::InlineCallback (64-byte SBO, metered heap fallback —
                 DESIGN.md §5b). A std::function member or parameter here
                 silently reintroduces a heap allocation per event.
+
+  hdr-latency   Latency instruments in src/ (histogram registrations whose
+                name literal ends in `_seconds`) must use hdr_histogram(),
+                not histogram(): fixed-bucket histograms smear the tail the
+                p99/p999 reporting depends on (DESIGN.md §4g). Counters and
+                gauges are unaffected; tests/bench may still use histogram()
+                to exercise it.
 """
 
 from __future__ import annotations
@@ -73,6 +80,11 @@ REQUIRE_CALL = re.compile(r"\b(LSDF_REQUIRE|LSDF_DCHECK)\s*\(")
 # std::function stays legal.
 SIM_FUNCTION_PATTERN = re.compile(r"std::function\b")
 SIM_HOT_PATH_PREFIX = "src/sim/"
+
+# A `.histogram("..._seconds"` registration in src/ is a latency metric on
+# the wrong instrument; `.hdr_histogram(` does not match (the dot anchors
+# the method name).
+HDR_LATENCY_PATTERN = re.compile(r"\.histogram\s*\(\s*\"\w*_seconds\"")
 
 
 def strip_comments(text: str) -> str:
@@ -187,6 +199,15 @@ def check_file(rel: str, raw: str, findings: list[str]) -> None:
                 f"std::function in the event kernel — use "
                 f"sim::InlineCallback so callbacks stay inline in event "
                 f"slots"
+            )
+
+    if rel.startswith("src/"):
+        for match in HDR_LATENCY_PATTERN.finditer(code):
+            findings.append(
+                f"{rel}:{line_of(code, match.start())}: [hdr-latency] "
+                f"`_seconds` latency metric registered as a fixed-bucket "
+                f"histogram — use hdr_histogram() so tail quantiles "
+                f"(p99/p999) stay within 1% (DESIGN.md §4g)"
             )
 
     if not rel.startswith(THREAD_ALLOWED_PREFIXES):

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Per-request report over an LSDF Chrome trace (--trace output).
+
+The tracer attaches request/span/parent/tenant args to every complete
+event emitted while a request context is in scope (DESIGN.md §4g). This
+tool groups those events back into requests and answers the two postmortem
+questions Perfetto makes you answer with a mouse:
+
+  * which requests were slowest, and in which subsystem did their time go;
+  * what each slow request's critical path was (the longest parent->child
+    span chain), i.e. what to optimise first.
+
+Usage:
+  tools/trace_report.py TRACE.json [--top N]
+
+Dependency-free (stdlib json only); exits 0 on an empty or untraced file
+so CI can run it unconditionally on perf-smoke artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_events(path: str) -> list[dict]:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"trace_report: cannot read {path}: {error}", file=sys.stderr)
+        sys.exit(1)
+    return doc.get("traceEvents", [])
+
+
+def attributed_spans(events: list[dict]) -> dict[str, list[dict]]:
+    """Complete ('X') events grouped by their request tag."""
+    by_request: dict[str, list[dict]] = defaultdict(list)
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        request = event.get("args", {}).get("request")
+        if request:
+            by_request[request].append(event)
+    return by_request
+
+
+def critical_path(spans: list[dict]) -> list[dict]:
+    """Longest parent->child chain by summed duration.
+
+    Chains follow the span/parent args the tracer records from the
+    enclosing-span stack; a span with no recorded parent roots a chain.
+    """
+    by_span = {
+        event["args"]["span"]: event
+        for event in spans
+        if event.get("args", {}).get("span")
+    }
+    children: dict[str, list[dict]] = defaultdict(list)
+    roots: list[dict] = []
+    for event in by_span.values():
+        parent = event["args"].get("parent")
+        if parent and parent in by_span:
+            children[parent].append(event)
+        else:
+            roots.append(event)
+
+    def best_chain(event: dict) -> tuple[float, list[dict]]:
+        best_duration, best_tail = 0.0, []
+        for child in children.get(event["args"]["span"], []):
+            duration, tail = best_chain(child)
+            if duration > best_duration:
+                best_duration, best_tail = duration, tail
+        return event.get("dur", 0) + best_duration, [event] + best_tail
+
+    overall_duration, overall_chain = 0.0, []
+    for root in roots:
+        duration, chain = best_chain(root)
+        if duration > overall_duration:
+            overall_duration, overall_chain = duration, chain
+    return overall_chain
+
+
+def fmt_ms(us: float) -> str:
+    return f"{us / 1000.0:.3f} ms"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace JSON from --trace")
+    parser.add_argument("--top", type=int, default=10,
+                        help="requests to detail (default 10)")
+    args = parser.parse_args()
+
+    events = load_events(args.trace)
+    by_request = attributed_spans(events)
+    print(f"trace: {len(events)} event(s), "
+          f"{len(by_request)} attributed request(s)")
+    if not by_request:
+        print("no request-attributed spans found "
+              "(was the run traced with requests in scope?)")
+        return 0
+
+    # Rank requests by wall span (first start to last end).
+    ranked = []
+    for request, spans in by_request.items():
+        start = min(event["ts"] for event in spans)
+        end = max(event["ts"] + event.get("dur", 0) for event in spans)
+        tenant = next((event["args"].get("tenant") for event in spans
+                       if event.get("args", {}).get("tenant")), "-")
+        ranked.append((end - start, request, tenant, spans))
+    ranked.sort(reverse=True, key=lambda item: item[0])
+
+    # Aggregate: where does request time go per subsystem (trace category)?
+    subsystem_us: dict[str, float] = defaultdict(float)
+    for _, _, _, spans in ranked:
+        for event in spans:
+            subsystem_us[event.get("cat", "?")] += event.get("dur", 0)
+    print("\n== time in spans by subsystem (all requests) ==")
+    total_us = sum(subsystem_us.values()) or 1.0
+    for category, us in sorted(subsystem_us.items(),
+                               key=lambda item: -item[1]):
+        print(f"  {category:<12} {fmt_ms(us):>16}  "
+              f"{100.0 * us / total_us:5.1f}%")
+
+    print(f"\n== top {min(args.top, len(ranked))} slowest requests ==")
+    for wall_us, request, tenant, spans in ranked[:args.top]:
+        by_category: dict[str, float] = defaultdict(float)
+        for event in spans:
+            by_category[event.get("cat", "?")] += event.get("dur", 0)
+        breakdown = ", ".join(
+            f"{category} {fmt_ms(us)}"
+            for category, us in sorted(by_category.items(),
+                                       key=lambda item: -item[1]))
+        print(f"\n{request}  tenant={tenant}  wall={fmt_ms(wall_us)}  "
+              f"spans={len(spans)}")
+        print(f"  by subsystem: {breakdown}")
+        chain = critical_path(spans)
+        if chain:
+            print("  critical path:")
+            for depth, event in enumerate(chain):
+                print(f"    {'  ' * depth}{event.get('name', '?')} "
+                      f"[{event.get('cat', '?')}] {fmt_ms(event.get('dur', 0))}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
