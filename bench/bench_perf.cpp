@@ -16,18 +16,22 @@
 //   --floor <file>        key=value file with dispatch_min_meps; exits
 //                         non-zero if measured dispatch throughput drops
 //                         more than 30% below that floor (CI perf-smoke)
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "exec/thread_pool.h"
 #include "net/topology.h"
 #include "net/transfer_engine.h"
 #include "obs/metrics.h"
+#include "sim/sharded_simulator.h"
 #include "sim/simulator.h"
 
 namespace {
@@ -177,6 +181,114 @@ Throughput mixed_facility_bench(int waves, int flows_per_wave) {
   return t;
 }
 
+// --- 4. Sharded dispatch: worker-count scaling of the parallel kernel ---------
+//
+// The dispatch_bench workload partitioned over a 4-shard
+// sim::ShardedSimulator, with a cross-shard mailbox ring ping riding along
+// so every synchronization window carries real mail. Run twice — serially
+// on the caller thread (the single-threaded oracle) and fanned out on an
+// exec::ThreadPool — and the merged fingerprints must be byte-identical;
+// the ratio of the two wall times is the kernel's parallel speedup.
+struct ShardedOutcome {
+  Throughput throughput;
+  std::uint64_t fingerprint = 0;
+};
+
+ShardedOutcome sharded_dispatch_bench(std::uint32_t shards,
+                                      std::uint64_t events_per_shard,
+                                      std::size_t width,
+                                      lsdf::exec::ThreadPool* pool) {
+  // 100 µs lookahead → ~width·100k-event shard-windows: long enough to
+  // amortize the barrier, short enough that a run crosses many of them.
+  const SimDuration lookahead(100'000);
+  sim::ShardedSimulator sharded(shards, lookahead, pool);
+  struct alignas(64) ShardCount {
+    std::uint64_t value = 0;
+  };
+  std::vector<ShardCount> dispatched(shards);
+  struct Chain {
+    sim::Simulator* sim;
+    std::uint64_t* dispatched;
+    std::uint64_t budget;
+    std::uint64_t stride;
+    void operator()() const {
+      ++*dispatched;
+      if (*dispatched + stride <= budget) {
+        sim->schedule_after(SimDuration(static_cast<std::int64_t>(stride)),
+                            *this);
+      }
+    }
+  };
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    sim::Simulator& shard_sim = sharded.shard(s);
+    for (std::size_t i = 0; i < width; ++i) {
+      sharded.seed(s, SimTime(static_cast<std::int64_t>(i + 1)),
+                   Chain{&shard_sim, &dispatched[s].value, events_per_shard,
+                         width});
+    }
+  }
+  struct Ping {
+    sim::ShardedSimulator* world;
+    std::uint64_t remaining;
+    std::uint32_t at;
+    void operator()() const {
+      if (remaining == 0) return;
+      const std::uint32_t next = (at + 1) % world->shard_count();
+      world->post(at, next, world->lookahead(),
+                  Ping{world, remaining - 1, next});
+    }
+  };
+  sharded.seed(0, SimTime(1), Ping{&sharded, shards * 64ULL, 0});
+  const auto start = Clock::now();
+  const auto executed = static_cast<double>(sharded.run());
+  ShardedOutcome outcome{Throughput{executed, seconds_since(start)},
+                         sharded.fingerprint()};
+  std::uint64_t chained = 0;
+  for (const ShardCount& c : dispatched) chained += c.value;
+  LSDF_REQUIRE(chained >= static_cast<std::uint64_t>(shards) *
+                              (events_per_shard - width),
+               "sharded dispatch chains lost events");
+  return outcome;
+}
+
+// Serial-vs-pooled pair; REQUIREs worker-count-invariant fingerprints (the
+// acceptance property, enforced on every bench and TSan-smoke run).
+void run_sharded_dispatch(std::uint64_t events_per_shard,
+                          const std::string& json_path,
+                          const std::string& suffix) {
+  constexpr std::uint32_t kShards = 4;
+  const unsigned hw = lsdf::exec::ThreadPool::default_thread_count();
+  const unsigned workers = std::min<unsigned>(kShards, hw);
+  const ShardedOutcome serial =
+      sharded_dispatch_bench(kShards, events_per_shard, 256, nullptr);
+  report("sharded serial", serial.throughput);
+  lsdf::exec::ThreadPool pool(workers);
+  const ShardedOutcome parallel =
+      sharded_dispatch_bench(kShards, events_per_shard, 256, &pool);
+  report("sharded x" + std::to_string(workers), parallel.throughput);
+  LSDF_REQUIRE(serial.fingerprint == parallel.fingerprint,
+               "sharded run diverged from the single-threaded oracle");
+  const double speedup =
+      parallel.throughput.seconds > 0.0
+          ? serial.throughput.seconds / parallel.throughput.seconds
+          : 0.0;
+  lsdf::bench::row("sharded fingerprint: %016llx (serial == x%u), "
+                   "speedup %.2fx on %u hw threads",
+                   static_cast<unsigned long long>(serial.fingerprint),
+                   workers, speedup, hw);
+  if (!json_path.empty()) {
+    lsdf::bench::write_json_section(
+        json_path, "perf_sharded_dispatch" + suffix,
+        {{"shards", static_cast<double>(kShards)},
+         {"workers", static_cast<double>(workers)},
+         {"hw_threads", static_cast<double>(hw)},
+         {"events", parallel.throughput.events},
+         {"serial_events_per_sec", serial.throughput.events_per_sec()},
+         {"parallel_events_per_sec", parallel.throughput.events_per_sec()},
+         {"speedup", speedup}});
+  }
+}
+
 double parse_floor(const std::string& path) {
   std::ifstream in(path);
   std::string line;
@@ -196,15 +308,28 @@ double parse_floor(const std::string& path) {
 int main(int argc, char** argv) {
   const auto obs = lsdf::bench::obs_init(argc, argv);
   bool quick = false;
+  bool sharded_smoke = false;
   std::string json_path = "BENCH_perf.json";
   std::string suffix;
   std::string floor_path;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--quick") quick = true;
+    if (flag == "--sharded-smoke") sharded_smoke = true;
     if (flag == "--json" && i + 1 < argc) json_path = argv[i + 1];
     if (flag == "--section-suffix" && i + 1 < argc) suffix = argv[i + 1];
     if (flag == "--floor" && i + 1 < argc) floor_path = argv[i + 1];
+  }
+
+  if (sharded_smoke) {
+    // TSan/CI mode: only the parallel kernel, small, no report file — the
+    // point is racing the window workers under the sanitizer and REQUIREing
+    // the worker-count-invariant fingerprint, not a timing.
+    lsdf::bench::headline("PERF — sharded kernel smoke (determinism + races)",
+                          "serial vs pooled fingerprints must match");
+    lsdf::bench::section("sharded smoke");
+    run_sharded_dispatch(200'000, "", suffix);
+    return 0;
   }
 
   lsdf::bench::headline(
@@ -230,6 +355,7 @@ int main(int argc, char** argv) {
   report("schedule+cancel", churn);
   const Throughput mixed = mixed_facility_bench(waves, 64);
   report("mixed facility", mixed);
+  run_sharded_dispatch(quick ? 1'000'000 : 4'000'000, json_path, suffix);
 
   const auto heap_callbacks =
       lsdf::obs::MetricsRegistry::global().counter_value(

@@ -15,6 +15,7 @@
 #include <functional>
 #include <string>
 
+#include "sim/sharded_simulator.h"
 #include "sim/simulator.h"
 
 namespace lsdf::chk {
@@ -31,6 +32,13 @@ struct ReplayOutcome {
 // Convenience: capture a finished simulator's outcome.
 [[nodiscard]] inline ReplayOutcome outcome_of(const sim::Simulator& sim) {
   return ReplayOutcome{sim.fingerprint(), sim.executed_events()};
+}
+
+// Sharded runs replay-check exactly like single-kernel ones: the merged
+// digest (DESIGN.md §5c) diverges iff any shard's event stream did.
+[[nodiscard]] inline ReplayOutcome outcome_of(
+    const sim::ShardedSimulator& sharded) {
+  return ReplayOutcome{sharded.fingerprint(), sharded.executed_events()};
 }
 
 using Scenario = std::function<ReplayOutcome(std::uint64_t seed)>;

@@ -105,4 +105,17 @@ SimDuration Topology::path_latency(const std::vector<LinkId>& path) const {
   return total;
 }
 
+SimDuration Topology::min_up_link_latency() const {
+  SimDuration best = SimDuration::zero();
+  bool found = false;
+  for (const Link& link : links_) {
+    if (!link.up) continue;
+    if (!found || link.latency < best) {
+      best = link.latency;
+      found = true;
+    }
+  }
+  return best;
+}
+
 }  // namespace lsdf::net

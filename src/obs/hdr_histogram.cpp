@@ -13,6 +13,13 @@ HdrHistogram::HdrHistogram()
 }
 
 std::size_t HdrHistogram::bucket_index(double value) {
+  // Non-finite samples first: +inf saturates into the top bucket like any
+  // beyond-range value; NaN and -inf fall through to the zero bucket below.
+  // Without this gate, std::frexp(+inf) hands an infinite mantissa to the
+  // uint32 cast — undefined behavior (UBSan float-cast-overflow).
+  if (!std::isfinite(value)) {
+    return value > 0.0 ? kBucketCount - 1 : 0;
+  }
   if (!(value > 0.0)) return 0;  // zero, negative and NaN → zero bucket
   int exponent = 0;
   const double mantissa = std::frexp(value, &exponent);  // in [0.5, 1)
@@ -39,6 +46,10 @@ double HdrHistogram::bucket_mid(std::size_t index) {
 void HdrHistogram::record(double value) {
   buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
+  // Non-finite samples are counted (top/zero bucket via bucket_index) but
+  // kept out of sum and max: one stray +inf or NaN would otherwise poison
+  // the mean and every max-clamped quantile for the instrument's lifetime.
+  if (!std::isfinite(value)) return;
   sum_.fetch_add(value, std::memory_order_relaxed);
   double seen_max = max_.load(std::memory_order_relaxed);
   while (value > seen_max &&

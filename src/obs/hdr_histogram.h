@@ -12,7 +12,10 @@
 //! years); values at or below zero land in a dedicated zero bucket and
 //! values beyond either end saturate into the edge buckets, so record()
 //! never loses an observation (count/sum/max stay exact — only the bucket
-//! placement, and thus the quantile, is clamped).
+//! placement, and thus the quantile, is clamped). Non-finite samples are
+//! clamped too (+inf → top bucket, NaN/-inf → zero bucket) and counted,
+//! but excluded from sum and max so one bad sample cannot poison the mean
+//! or the max-clamped quantiles.
 #pragma once
 
 #include <atomic>

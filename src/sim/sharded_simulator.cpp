@@ -1,0 +1,245 @@
+#include "sim/sharded_simulator.h"
+
+#include <algorithm>
+#include <future>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace lsdf::sim {
+
+namespace {
+
+// Marks the current thread as executing one shard's window, arming the
+// debug cross-shard guard in Simulator::schedule_*/cancel for its duration.
+class ShardGuard {
+ public:
+  explicit ShardGuard(std::uint32_t shard) { detail::t_active_shard = shard; }
+  ~ShardGuard() { detail::t_active_shard = detail::kNoActiveShard; }
+  ShardGuard(const ShardGuard&) = delete;
+  ShardGuard& operator=(const ShardGuard&) = delete;
+};
+
+// Window/run bracket; RAII so a throwing event callback does not leave the
+// coordinator stuck in the "running" state.
+class RunScope {
+ public:
+  explicit RunScope(bool& flag) : flag_(flag) { flag_ = true; }
+  ~RunScope() { flag_ = false; }
+  RunScope(const RunScope&) = delete;
+  RunScope& operator=(const RunScope&) = delete;
+
+ private:
+  bool& flag_;
+};
+
+}  // namespace
+
+ShardedSimulator::ShardedSimulator(std::uint32_t shards, SimDuration lookahead,
+                                   exec::ThreadPool* pool)
+    : lookahead_(lookahead), pool_(pool) {
+  LSDF_REQUIRE(shards >= 1, "a sharded simulator needs at least one shard");
+  LSDF_REQUIRE(lookahead > SimDuration::zero(),
+               "lookahead must be positive — derive it from the smallest "
+               "cross-shard model latency (e.g. "
+               "net::Topology::min_up_link_latency())");
+  shards_.resize(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    shards_[s].sim = std::make_unique<Simulator>(s);
+  }
+}
+
+EventId ShardedSimulator::seed(std::uint32_t s, SimTime at,
+                               Simulator::Callback callback) {
+  LSDF_REQUIRE(!running_,
+               "seed() while a run is in progress — inject cross-shard work "
+               "through post() so it respects the lookahead horizon");
+  LSDF_REQUIRE(s < shards_.size(), "shard index out of range");
+  return shards_[s].sim->schedule_at(at, std::move(callback));
+}
+
+MailId ShardedSimulator::post(std::uint32_t from, std::uint32_t to,
+                              SimDuration delay,
+                              Simulator::Callback callback) {
+  LSDF_REQUIRE(from < shards_.size() && to < shards_.size(),
+               "shard index out of range");
+  LSDF_REQUIRE(delay >= lookahead_,
+               "conservative lookahead violated: cross-shard delay is below "
+               "the synchronization horizon");
+  LSDF_DCHECK(callback != nullptr, "null mail callback");
+  LSDF_DCHECK(detail::t_active_shard == detail::kNoActiveShard ||
+                  detail::t_active_shard == from,
+              "post() on behalf of a shard other than the one executing");
+  ShardState& sender = shards_[from];
+  // Tokens encode the sending shard so they are process-unique without any
+  // shared counter (post runs on worker threads); counting from 1 keeps
+  // token 0 as the nil MailId.
+  const std::uint64_t token =
+      (static_cast<std::uint64_t>(from) << 40) | ++sender.next_token;
+  sender.outbox.push_back(
+      Mail{sender.sim->now() + delay, token, to, std::move(callback)});
+  return MailId{token};
+}
+
+void ShardedSimulator::cancel_mail(std::uint32_t from, MailId id) {
+  LSDF_REQUIRE(from < shards_.size(), "shard index out of range");
+  LSDF_DCHECK(detail::t_active_shard == detail::kNoActiveShard ||
+                  detail::t_active_shard == from,
+              "cancel_mail() on behalf of a shard other than the one "
+              "executing");
+  if (id.token == 0) return;  // nil handle
+  shards_[from].cancels.push_back(id.token);
+}
+
+void ShardedSimulator::barrier_deliver() {
+  // Coordinator thread, all workers quiescent. Every container below is
+  // iterated in a deterministic order (shards ascending, outboxes in post
+  // order, the cancel set sorted), so delivery — and therefore every
+  // receiver's (time, seq) stream — is identical whatever the worker count.
+  std::set<std::uint64_t> cancelled;
+  for (ShardState& st : shards_) {
+    cancelled.insert(st.cancels.begin(), st.cancels.end());
+    st.cancels.clear();
+  }
+  // Drop in-flight records whose delivery time has passed on the receiver:
+  // those events fired (run_until executes everything <= its deadline), so
+  // a late cancel_mail against them must be a no-op, not a stale cancel of
+  // whatever recycled the event slot. (The kernel's generation check makes
+  // that impossible anyway; purging keeps the map bounded.)
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    if (it->second.deliver <= shards_[it->second.to].sim->now()) {
+      it = in_flight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Cancels of mail already sitting in a receiver's queue.
+  for (auto it = cancelled.begin(); it != cancelled.end();) {
+    const auto flight = in_flight_.find(*it);
+    if (flight == in_flight_.end()) {
+      ++it;  // still in an outbox this barrier, or already fired (no-op)
+      continue;
+    }
+    if (shards_[flight->second.to].sim->cancel(flight->second.event)) {
+      ++mail_cancelled_;
+    }
+    in_flight_.erase(flight);
+    it = cancelled.erase(it);
+  }
+  // Deliver this window's outboxes; a post() cancelled within its own
+  // window never reaches the receiver at all.
+  for (ShardState& st : shards_) {
+    for (Mail& mail : st.outbox) {
+      ++mail_posted_;
+      if (cancelled.erase(mail.token) > 0) {
+        ++mail_cancelled_;
+        continue;
+      }
+      const EventId event = shards_[mail.to].sim->schedule_at(
+          mail.deliver, std::move(mail.callback));
+      in_flight_.emplace(mail.token,
+                         DeliveredMail{mail.to, event, mail.deliver});
+      ++mail_delivered_;
+    }
+    st.outbox.clear();
+  }
+}
+
+SimTime ShardedSimulator::next_event_floor() {
+  SimTime floor = SimTime::max();
+  for (ShardState& st : shards_) {
+    floor = std::min(floor, st.sim->next_event_time());
+  }
+  return floor;
+}
+
+std::size_t ShardedSimulator::run_shard(std::uint32_t s, SimTime window_end) {
+  const ShardGuard guard(s);
+  return shards_[s].sim->run_until(window_end);
+}
+
+std::size_t ShardedSimulator::run_window(SimTime window_end) {
+  // Participants chosen on the coordinator, in shard order; shards with no
+  // event inside the window keep their clock (their next post()'s delivery
+  // time is computed from their own now(), which only run_until advances).
+  std::vector<std::uint32_t> ready;
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s].sim->next_event_time() <= window_end) ready.push_back(s);
+  }
+  std::size_t executed = 0;
+  if (pool_ == nullptr || ready.size() <= 1) {
+    for (const std::uint32_t s : ready) executed += run_shard(s, window_end);
+    return executed;
+  }
+  // One pool task per participating shard; the futures are the barrier (and
+  // the happens-before edge that lets the coordinator read outboxes without
+  // locks). Shards never touch each other's state mid-window, so the only
+  // shared writes are the pool's own internals.
+  std::vector<std::future<std::size_t>> windows;
+  windows.reserve(ready.size());
+  for (const std::uint32_t s : ready) {
+    windows.push_back(pool_->async(
+        [this, s, window_end] { return run_shard(s, window_end); }));
+  }
+  for (std::future<std::size_t>& window : windows) executed += window.get();
+  return executed;
+}
+
+std::size_t ShardedSimulator::run_core(SimTime limit) {
+  LSDF_REQUIRE(!running_, "ShardedSimulator run re-entered");
+  const RunScope scope(running_);
+  std::size_t executed = 0;
+  for (;;) {
+    barrier_deliver();
+    const SimTime next = next_event_floor();
+    if (next == SimTime::max() || next > limit) break;
+    // Conservative window: everything in [next, next + lookahead) is safe
+    // to run without hearing from other shards, because any mail they send
+    // meanwhile delivers at >= next + lookahead (post enforces the bound
+    // against the sender's clock, which is >= next).
+    SimTime window_end = limit;
+    if (next.nanos() <= SimTime::max().nanos() - lookahead_.nanos()) {
+      window_end = std::min(limit, next + lookahead_);
+    }
+    executed += run_window(window_end);
+  }
+  return executed;
+}
+
+std::size_t ShardedSimulator::run() { return run_core(SimTime::max()); }
+
+std::size_t ShardedSimulator::run_until(SimTime deadline) {
+  const std::size_t executed = run_core(deadline);
+  // Every remaining event is past the deadline; bring the laggard clocks up
+  // so now() matches single-kernel run_until semantics.
+  for (ShardState& st : shards_) {
+    if (st.sim->now() < deadline) st.sim->run_until(deadline);
+  }
+  return executed;
+}
+
+SimTime ShardedSimulator::now() const {
+  SimTime floor = SimTime::max();
+  for (const ShardState& st : shards_) {
+    floor = std::min(floor, st.sim->now());
+  }
+  return floor;
+}
+
+std::uint64_t ShardedSimulator::executed_events() const {
+  std::uint64_t total = 0;
+  for (const ShardState& st : shards_) total += st.sim->executed_events();
+  return total;
+}
+
+std::uint64_t ShardedSimulator::fingerprint() const {
+  chk::Fingerprint merged;
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    merged.fold(s);
+    merged.fold(shards_[s].sim->fingerprint());
+    merged.fold(shards_[s].sim->executed_events());
+  }
+  return merged.value();
+}
+
+}  // namespace lsdf::sim

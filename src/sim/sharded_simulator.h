@@ -1,0 +1,175 @@
+//! Parallel (sharded) discrete-event kernel with conservative lookahead.
+//!
+//! Partitions a facility into shards (per disk array / rack / site), each
+//! owning one single-threaded sim::Simulator, and executes their event
+//! streams in bounded time windows — in parallel on an exec::ThreadPool, or
+//! serially on the caller thread when no pool is given. Shards exchange
+//! work only through a cross-shard mailbox whose delivery delay is at least
+//! the configured `lookahead` (derived from model latencies: link RTTs via
+//! net::Topology::min_up_link_latency(), tape mount times, ...), so a
+//! cross-shard event can never arrive in a receiving shard's past.
+//!
+//! Determinism is the hard requirement (DESIGN.md §5c): a run on W worker
+//! threads produces byte-identical per-shard event streams — and therefore
+//! a byte-identical merged fingerprint() — to the single-threaded run,
+//! because (a) each shard's kernel is sequential and deterministic, (b)
+//! windows are global barriers sized by the same lookahead arithmetic
+//! regardless of W, and (c) mailbox deliveries and cancellations are
+//! applied only at barriers, on the coordinating thread, in a fixed total
+//! order (sending shard id, then post order — a deterministic tie-break
+//! under the merge's (time, shard, seq) total order). chk::replay_check
+//! remains the oracle: wrap a sharded scenario exactly like a
+//! single-kernel one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "chk/fingerprint.h"
+#include "common/require.h"
+#include "common/units.h"
+#include "exec/thread_pool.h"
+#include "sim/simulator.h"
+
+namespace lsdf::sim {
+
+// Handle for a cross-shard message; usable by the *sending* shard to cancel
+// it (cancel_mail) before delivery reaches its lookahead horizon. 0 = nil.
+struct MailId {
+  std::uint64_t token = 0;
+  friend bool operator==(MailId, MailId) = default;
+};
+
+class ShardedSimulator {
+ public:
+  // `shards` kernels synchronised with conservative windows of `lookahead`.
+  // Passing a pool runs each window's shards as parallel pool tasks; null
+  // runs them serially on the caller thread (the single-threaded oracle
+  // configuration — same fingerprint by construction).
+  ShardedSimulator(std::uint32_t shards, SimDuration lookahead,
+                   exec::ThreadPool* pool = nullptr);
+
+  [[nodiscard]] std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  [[nodiscard]] SimDuration lookahead() const { return lookahead_; }
+
+  // The shard's kernel, for wiring shard-local models at build time (each
+  // model keeps a reference to *its own* shard's Simulator and schedules on
+  // it freely during its windows). Direct `shard(i).schedule_*` chains are
+  // rejected by the repo lint (`shard-boundary` rule): initial events go
+  // through seed(), cross-shard work through post(). A debug-build
+  // thread-local guard additionally rejects any schedule/cancel on a
+  // foreign shard's kernel at runtime.
+  [[nodiscard]] Simulator& shard(std::uint32_t s) {
+    LSDF_REQUIRE(s < shards_.size(), "shard index out of range");
+    return *shards_[s].sim;
+  }
+
+  // Schedule an initial event on shard `s` while the world is being built.
+  // Refused once a run is in progress: mid-run cross-shard injection must
+  // use the mailbox so it respects the lookahead horizon.
+  EventId seed(std::uint32_t s, SimTime at, Simulator::Callback callback);
+
+  // Cross-shard mailbox. Callable from shard `from`'s window (or at build
+  // time): delivers `callback` as a fresh event on shard `to` at
+  // now(from) + delay. `delay` must be >= lookahead() — that bound is what
+  // guarantees the receiver has not yet executed past the delivery time.
+  // Delivery happens at the next window barrier, in deterministic
+  // (sending shard, post order) order.
+  MailId post(std::uint32_t from, std::uint32_t to, SimDuration delay,
+              Simulator::Callback callback);
+
+  // Cancel a message previously post()ed by shard `from`. Takes effect at
+  // the next barrier: mail still in the sender's outbox is dropped; mail
+  // already scheduled on the destination shard is cancelled there if its
+  // delivery time has not fired yet (always the case when the cancel is
+  // issued before the mail's lookahead horizon). Safe to call with a
+  // handle whose mail already fired — it is then a deterministic no-op.
+  void cancel_mail(std::uint32_t from, MailId id);
+
+  // Run until every shard drains and no mail is in flight. Returns events
+  // executed across all shards during this call.
+  std::size_t run();
+
+  // Run all events (and deliver all mail) with timestamp <= deadline, then
+  // advance every shard's clock to `deadline`.
+  std::size_t run_until(SimTime deadline);
+
+  // Global clock floor: the minimum of the shard clocks.
+  [[nodiscard]] SimTime now() const;
+
+  [[nodiscard]] std::uint64_t executed_events() const;
+
+  // Deterministic merged digest over all shards (DESIGN.md §5c): folds, in
+  // ascending shard order, each shard's id, kernel fingerprint and event
+  // count. Because shards interact only at barrier-delivered mailbox
+  // times, the per-shard streams jointly identify the canonical
+  // (time, shard, seq) total order of the whole run, so two runs merge
+  // equal iff every shard executed the identical sequence — the property
+  // chk::replay_check asserts for sharded scenarios.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  // Mailbox telemetry for tests and benches.
+  [[nodiscard]] std::uint64_t mail_posted() const { return mail_posted_; }
+  [[nodiscard]] std::uint64_t mail_delivered() const {
+    return mail_delivered_;
+  }
+  [[nodiscard]] std::uint64_t mail_cancelled() const {
+    return mail_cancelled_;
+  }
+
+ private:
+  struct Mail {
+    SimTime deliver;
+    std::uint64_t token = 0;
+    std::uint32_t to = 0;
+    Simulator::Callback callback;
+  };
+
+  // Everything a worker touches while running one shard's window lives
+  // here; the barrier (futures / serial execution) provides the
+  // happens-before edge between a worker's writes and the coordinator's
+  // reads, so no locks are needed.
+  struct ShardState {
+    std::unique_ptr<Simulator> sim;
+    std::vector<Mail> outbox;             // posts made this window
+    std::vector<std::uint64_t> cancels;   // cancel_mail tokens this window
+    std::uint64_t next_token = 0;
+  };
+
+  // Mail already scheduled on its destination shard but (possibly) not yet
+  // fired — the coordinator's handle for barrier-time cancellation.
+  struct DeliveredMail {
+    std::uint32_t to = 0;
+    EventId event;
+    SimTime deliver;
+  };
+
+  // Apply pending cancels and deliver pending outboxes (coordinator thread,
+  // at a barrier). Deterministic: shards in id order, entries in post order.
+  void barrier_deliver();
+  // Earliest pending event over all shards (outboxes must be empty).
+  SimTime next_event_floor();
+  // Run one window over the shards that have work in it; returns events
+  // executed.
+  std::size_t run_window(SimTime window_end);
+  // One shard's slice of a window (worker or caller thread; shard-guarded).
+  std::size_t run_shard(std::uint32_t s, SimTime window_end);
+  std::size_t run_core(SimTime limit);
+
+  SimDuration lookahead_;
+  exec::ThreadPool* pool_;
+  std::vector<ShardState> shards_;
+  // std::map: purge iteration order (and thus any future telemetry) stays
+  // deterministic.
+  std::map<std::uint64_t, DeliveredMail> in_flight_;
+  bool running_ = false;
+  std::uint64_t mail_posted_ = 0;
+  std::uint64_t mail_delivered_ = 0;
+  std::uint64_t mail_cancelled_ = 0;
+};
+
+}  // namespace lsdf::sim

@@ -6,8 +6,9 @@
 
 namespace lsdf::sim {
 
-Simulator::Simulator()
-    : events_metric_(
+Simulator::Simulator(std::uint32_t shard)
+    : shard_(shard),
+      events_metric_(
           obs::MetricsRegistry::global().counter("lsdf_sim_events_total")),
       queue_depth_metric_(
           obs::MetricsRegistry::global().gauge("lsdf_sim_queue_depth")),
@@ -59,6 +60,10 @@ std::uint32_t Simulator::grow_slot() {
 EventId Simulator::schedule_at(SimTime t, Callback callback) {
   LSDF_REQUIRE(t >= now_, "cannot schedule an event in the simulated past");
   LSDF_DCHECK(callback != nullptr, "null event callback");
+  LSDF_DCHECK(detail::t_active_shard == detail::kNoActiveShard ||
+                  detail::t_active_shard == shard_,
+              "cross-shard Simulator::schedule_* — post through the "
+              "ShardedSimulator mailbox instead");
   const std::uint32_t index = acquire_slot_index();
   Slot& slot = slot_at(index);
   slot.callback = std::move(callback);
@@ -66,10 +71,16 @@ EventId Simulator::schedule_at(SimTime t, Callback callback) {
   slot.context = obs::current_context();
   queue_push(QueueEntry{t, next_seq_++, index, slot.generation});
   ++live_events_;
-  return EventId{index, slot.generation};
+  return EventId{index, slot.generation, shard_};
 }
 
 bool Simulator::cancel(EventId id) {
+  LSDF_DCHECK(detail::t_active_shard == detail::kNoActiveShard ||
+                  detail::t_active_shard == shard_,
+              "cross-shard Simulator::cancel — use the ShardedSimulator "
+              "mailbox (cancel_mail) instead");
+  // A handle minted by a different kernel can never name a tenancy here.
+  if (id.shard != shard_) return false;
   if (id.index >= slot_count_) return false;
   Slot& slot = slot_at(id.index);
   if (slot.generation != id.generation) {
@@ -174,6 +185,10 @@ void Simulator::dispatch_top() {
   free_head_ = entry.index;
 }
 
+SimTime Simulator::next_event_time() {
+  return settle_top() ? queue_top().time : SimTime::max();
+}
+
 bool Simulator::step() {
   if (!settle_top()) {
     flush_observability();
@@ -243,6 +258,7 @@ void PeriodicTask::arm(SimTime at) {
 
 void PeriodicTask::start_at(SimTime first_fire, SimTime end) {
   LSDF_REQUIRE(!running_, "periodic task already running");
+  ++epoch_;
   end_ = end;
   running_ = true;
   if (first_fire > end_) {
@@ -254,13 +270,26 @@ void PeriodicTask::start_at(SimTime first_fire, SimTime end) {
 
 void PeriodicTask::stop() {
   if (!running_) return;
+  ++epoch_;
   simulator_.cancel(pending_);
+  pending_ = EventId{};
   running_ = false;
 }
 
 void PeriodicTask::fire() {
   if (!running_) return;
+  // The pending event is the one firing right now: clear the handle so a
+  // stop() from inside tick_() doesn't cancel whatever event recycles the
+  // slot, and a stopped task never holds a stale id.
+  pending_ = EventId{};
+  const std::uint64_t epoch = epoch_;
   tick_();
+  if (epoch_ != epoch) {
+    // tick_() called stop() (possibly followed by start_at). Re-arming here
+    // would create a second live event chain next to the restart's one —
+    // the double-arm bug: two firings per period, the orphan uncancellable.
+    return;
+  }
   const SimTime next = simulator_.now() + period_;
   // `next < now` only on SimTime overflow (a run left unbounded for
   // thousands of simulated years); stop rather than corrupt the queue.

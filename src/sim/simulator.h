@@ -35,27 +35,47 @@
 namespace lsdf::sim {
 
 // Handle for a scheduled event; usable to cancel it before it fires.
-// {slot index, slot generation}: the generation is bumped every time a slot's
-// tenancy ends, so a stale handle to a fired/cancelled event can never cancel
-// the unrelated event that now occupies the same slot (ABA safety; the guard
-// window is 2^32 reuses of one slot). Hashable (std::hash specialisation
-// below), so model code can key unordered maps by pending event.
+// {slot index, slot generation, owning shard}: the generation is bumped every
+// time a slot's tenancy ends, so a stale handle to a fired/cancelled event can
+// never cancel the unrelated event that now occupies the same slot (ABA
+// safety; the guard window is 2^32 reuses of one slot). The shard field names
+// the kernel that owns the slot (DESIGN.md §5c): in a sharded run, only the
+// owning shard's Simulator may resolve the handle — cross-shard cancellation
+// goes through the ShardedSimulator mailbox. Hashable (std::hash
+// specialisation below), so model code can key unordered maps by pending
+// event.
 struct EventId {
   static constexpr std::uint32_t kNilIndex = 0xffffffffU;
   std::uint32_t index = kNilIndex;
   std::uint32_t generation = 0;
+  std::uint32_t shard = 0;
   friend bool operator==(EventId, EventId) = default;
 };
+
+namespace detail {
+// Shard whose window the current thread is executing (set by
+// ShardedSimulator around each window), or kNoActiveShard outside sharded
+// execution. Lets the kernel assert shard affinity: model code running
+// inside shard A's window must not schedule on (or cancel from) shard B's
+// Simulator directly — cross-shard traffic goes through the mailbox, which
+// is what keeps lookahead conservative and the merge deterministic.
+inline constexpr std::uint32_t kNoActiveShard = 0xffffffffU;
+inline thread_local std::uint32_t t_active_shard = kNoActiveShard;
+}  // namespace detail
 
 class Simulator {
  public:
   using Callback = InlineCallback;
 
-  Simulator();
+  // `shard` names this kernel within a ShardedSimulator (DESIGN.md §5c);
+  // standalone simulators keep the default shard 0. Every EventId issued
+  // here carries it, so handles are traceable to their owning kernel.
+  explicit Simulator(std::uint32_t shard = 0);
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::uint32_t shard() const { return shard_; }
 
   // Schedule `callback` at absolute simulated time `t` (>= now()).
   EventId schedule_at(SimTime t, Callback callback);
@@ -70,6 +90,10 @@ class Simulator {
              std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
   EventId schedule_at(SimTime t, F&& fn) {
     LSDF_REQUIRE(t >= now_, "cannot schedule an event in the simulated past");
+    LSDF_DCHECK(detail::t_active_shard == detail::kNoActiveShard ||
+                    detail::t_active_shard == shard_,
+                "cross-shard Simulator::schedule_* — post through the "
+                "ShardedSimulator mailbox instead");
     const std::uint32_t index = acquire_slot_index();
     Slot& slot = slot_at(index);
     slot.callback.emplace(std::forward<F>(fn));
@@ -77,7 +101,7 @@ class Simulator {
     slot.context = obs::current_context();
     queue_push(QueueEntry{t, next_seq_++, index, slot.generation});
     ++live_events_;
-    return EventId{index, slot.generation};
+    return EventId{index, slot.generation, shard_};
   }
 
   // Schedule `callback` after `delay` (>= 0).
@@ -121,6 +145,12 @@ class Simulator {
 
   [[nodiscard]] std::size_t pending_events() const { return live_events_; }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+  // Timestamp of the earliest live pending event, or SimTime::max() when the
+  // queue is empty. Non-const: it settles (lazily discards) cancelled queue
+  // heads, exactly as step() would. The sharded kernel uses this to size
+  // conservative execution windows (DESIGN.md §5c).
+  [[nodiscard]] SimTime next_event_time();
 
   // Slab introspection (tests and capacity diagnostics): total slots ever
   // grown, and how many of them currently sit on the free list. Their
@@ -264,6 +294,7 @@ class Simulator {
   void flush_observability();
 
   SimTime now_;
+  std::uint32_t shard_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t live_events_ = 0;
@@ -357,6 +388,13 @@ class PeriodicTask {
   SimTime end_ = SimTime::max();
   EventId pending_{};
   bool running_ = false;
+  // Bumped by every start_at()/stop(). fire() snapshots it before invoking
+  // tick_: if the tick restarted the task (stop + start_at from inside its
+  // own callback), the epoch moved and fire() must not re-arm — the
+  // restart's chain is the only live one. Without this guard the task ends
+  // up with two event chains and fires twice per period (the double-arm
+  // bug), and the orphaned chain can no longer be stopped.
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace lsdf::sim
@@ -367,7 +405,11 @@ template <>
 struct std::hash<lsdf::sim::EventId> {
   [[nodiscard]] std::size_t operator()(
       const lsdf::sim::EventId& id) const noexcept {
+    // Golden-ratio-mix the shard so ids differing only in their owning
+    // kernel don't collide; standalone simulators (shard 0) hash exactly
+    // as before.
     return std::hash<std::uint64_t>{}(
-        (static_cast<std::uint64_t>(id.index) << 32) | id.generation);
+        ((static_cast<std::uint64_t>(id.index) << 32) | id.generation) ^
+        (static_cast<std::uint64_t>(id.shard) * 0x9e3779b97f4a7c15ULL));
   }
 };

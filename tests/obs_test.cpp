@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -391,6 +392,40 @@ TEST(HdrHistogram, EdgeValuesAndReset) {
   histogram.reset();
   EXPECT_EQ(histogram.count(), 0);
   EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);
+}
+
+// Regression: bucket_index() used to pass non-finite values straight into
+// std::frexp; +inf survived the `value > 0` gate, frexp handed back an
+// infinite mantissa, and the uint32 cast of it was undefined behavior
+// (UBSan float-cast-overflow). Non-finite samples must clamp — +inf into
+// the top bucket, NaN/-inf into the zero bucket — and be counted without
+// poisoning sum or max.
+TEST(HdrHistogram, NonFiniteValuesClampIntoEdgeBuckets) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(HdrHistogram::bucket_index(kInf), HdrHistogram::kBucketCount - 1);
+  EXPECT_EQ(HdrHistogram::bucket_index(-kInf), 0u);
+  EXPECT_EQ(HdrHistogram::bucket_index(kNan), 0u);
+  // DBL_MAX is finite: the exponent clamp saturates it into the top bucket
+  // like any beyond-range observation.
+  EXPECT_EQ(HdrHistogram::bucket_index(std::numeric_limits<double>::max()),
+            HdrHistogram::kBucketCount - 1);
+}
+
+TEST(HdrHistogram, NonFiniteSamplesCountedButExcludedFromSumAndMax) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  HdrHistogram histogram;
+  histogram.record(kInf);
+  histogram.record(-kInf);
+  histogram.record(std::numeric_limits<double>::quiet_NaN());
+  histogram.record(1.0);
+  EXPECT_EQ(histogram.count(), 4);
+  // One stray +inf/NaN must not poison the mean or the max-clamped
+  // quantiles for the instrument's lifetime.
+  EXPECT_DOUBLE_EQ(histogram.sum(), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.max_value(), 1.0);
+  EXPECT_TRUE(std::isfinite(histogram.quantile(0.999)));
+  EXPECT_LE(histogram.quantile(1.0), 1.0);
 }
 
 TEST(HdrHistogram, QuantileNeverExceedsRecordedMax) {

@@ -314,6 +314,65 @@ TEST(PeriodicTask, RestartAfterStop) {
   EXPECT_EQ(fired, 4);
 }
 
+// Regression: restarting the task from inside its own tick. fire() used to
+// re-arm unconditionally after tick_() returned, so a stop()+start_at()
+// inside the tick left TWO live event chains — the task fired twice per
+// period from then on, and the orphaned chain could never be stopped
+// (stop() only knew the restart's pending id).
+TEST(PeriodicTask, RestartFromInsideTickDoesNotDoubleArm) {
+  Simulator sim;
+  std::vector<std::int64_t> times;
+  PeriodicTask* handle = nullptr;
+  bool rephased = false;
+  PeriodicTask task(sim, 10_s, [&] {
+    times.push_back(sim.now().nanos());
+    if (!rephased && sim.now() >= SimTime::zero() + 20_s) {
+      // Re-phase the schedule from inside the tick, as a config-reload
+      // handler would: stop, then restart on a 10 s period offset by 5 s.
+      rephased = true;
+      handle->stop();
+      handle->start_at(sim.now() + 5_s, SimTime::zero() + 60_s);
+    }
+  });
+  handle = &task;
+  task.start_at(SimTime::zero() + 10_s, SimTime::zero() + 60_s);
+  sim.run();
+  // One firing per period, re-phased once at t=20s — no doubled ticks from
+  // a surviving orphan chain.
+  const std::int64_t second = 1'000'000'000;
+  EXPECT_EQ(times, (std::vector<std::int64_t>{10 * second, 20 * second,
+                                              25 * second, 35 * second,
+                                              45 * second, 55 * second}));
+  EXPECT_FALSE(task.running());
+  // The queue must be fully drained: an orphaned chain would keep feeding
+  // events past the end time.
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+// Regression: stop() used to leave the fired/cancelled event's id in
+// pending_, so stop → start_at → stop could "cancel" a stale handle —
+// harmless only by luck of the generation check — and a stopped task held
+// a dangling id indefinitely. The sequence must cancel cleanly: no extra
+// ticks, no live events left behind.
+TEST(PeriodicTask, StopStartStopCancelsCleanly) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTask task(sim, 1_s, [&] { ++fired; });
+  task.start_at(SimTime::zero() + 1_s);
+  sim.run_until(SimTime::zero() + 2_s);
+  EXPECT_EQ(fired, 2);
+  task.stop();
+  EXPECT_EQ(sim.pending_events(), 0u);  // pending firing cancelled
+  task.start_at(sim.now() + 1_s);
+  task.stop();  // must cancel the restart's event, not a stale handle
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.run();
+  EXPECT_EQ(fired, 2);  // nothing left to fire
+  // Stopping an already-stopped task stays a no-op.
+  task.stop();
+  EXPECT_FALSE(task.running());
+}
+
 // --- Event slab / EventId generations ----------------------------------------
 
 TEST(EventSlab, CancelWithStaleIdAfterRecycleIsRejected) {

@@ -42,6 +42,16 @@ Rules (see DESIGN.md "Correctness tooling"):
                 p99/p999 reporting depends on (DESIGN.md §4g). Counters and
                 gauges are unaffected; tests/bench may still use histogram()
                 to exercise it.
+
+  shard-boundary  No scheduling or cancelling through another shard's
+                kernel: `shard(i).schedule_*` / `shard(i).cancel(` chains
+                bypass the ShardedSimulator mailbox and break the
+                conservative-lookahead contract (DESIGN.md §5c). Wire models
+                to their own shard's Simulator at build time, seed initial
+                events with ShardedSimulator::seed(), and send cross-shard
+                work with post()/cancel_mail(). A thread-local runtime guard
+                (debug/sanitizer builds) catches the aliased forms this
+                syntactic rule cannot see.
 """
 
 from __future__ import annotations
@@ -85,6 +95,13 @@ SIM_HOT_PATH_PREFIX = "src/sim/"
 # the wrong instrument; `.hdr_histogram(` does not match (the dot anchors
 # the method name).
 HDR_LATENCY_PATTERN = re.compile(r"\.histogram\s*\(\s*\"\w*_seconds\"")
+
+# Scheduling straight through a foreign shard accessor. Catches the direct
+# idiom (`world.shard(1).schedule_after(...)`); aliasing the reference
+# first is caught at runtime by the shard guard DCHECK instead.
+SHARD_BOUNDARY_PATTERN = re.compile(
+    r"\bshard\s*\([^()]*\)\s*\.\s*(?:schedule_at|schedule_after|cancel)\s*\("
+)
 
 
 def strip_comments(text: str) -> str:
@@ -209,6 +226,14 @@ def check_file(rel: str, raw: str, findings: list[str]) -> None:
                 f"histogram — use hdr_histogram() so tail quantiles "
                 f"(p99/p999) stay within 1% (DESIGN.md §4g)"
             )
+
+    for match in SHARD_BOUNDARY_PATTERN.finditer(code):
+        findings.append(
+            f"{rel}:{line_of(code, match.start())}: [shard-boundary] "
+            f"scheduling through a foreign shard's kernel — wire models "
+            f"shard-locally, seed() initial events, and cross shards via "
+            f"the ShardedSimulator mailbox (post/cancel_mail)"
+        )
 
     if not rel.startswith(THREAD_ALLOWED_PREFIXES):
         for match in THREAD_PATTERN.finditer(code):
