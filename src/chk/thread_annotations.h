@@ -34,3 +34,12 @@
 // Escape hatch for functions whose locking is correct but beyond the
 // analysis (e.g. condition-variable wait loops with conditional unlock).
 #define LSDF_NO_THREAD_SAFETY_ANALYSIS LSDF_TS(no_thread_safety_analysis)
+
+// Documents a member of a mutex-owning class that is written only during
+// the single-threaded construction/destruction phases and is effectively
+// immutable while threads run (e.g. a ThreadPool's worker vector). Clang
+// has no capability attribute for this, so it expands to nothing under
+// every compiler; the lsdf_lint lock-discipline rule accepts it in lieu
+// of LSDF_GUARDED_BY, making "deliberately unguarded" visible and
+// greppable instead of implicit.
+#define LSDF_CONST_AFTER_INIT

@@ -91,8 +91,11 @@ class ThreadPool {
   bool try_pop(std::size_t index, Task& task);
   bool try_steal(std::size_t thief, Task& task);
 
-  std::vector<std::unique_ptr<WorkerQueue>> queues_;
-  std::vector<std::thread> workers_;
+  // Sized in the constructor, joined/cleared in the destructor; the vectors
+  // themselves never change shape while workers run (elements lock their
+  // own WorkerQueue mutexes).
+  std::vector<std::unique_ptr<WorkerQueue>> queues_ LSDF_CONST_AFTER_INIT;
+  std::vector<std::thread> workers_ LSDF_CONST_AFTER_INIT;
   chk::TrackedMutex sleep_mutex_{"exec.pool_sleep"};
   // _any variants: TrackedMutex is BasicLockable but not a std::mutex, and
   // chk::UniqueLock keeps hold-time accounting exact across waits.
@@ -109,7 +112,8 @@ class ThreadPool {
   obs::Counter& tasks_metric_;
   obs::Counter& steals_metric_;
   obs::Gauge& pending_metric_;
-  std::vector<obs::Gauge*> worker_depth_metric_;  // per worker index
+  // Per worker index; filled in the constructor, pointees are atomic.
+  std::vector<obs::Gauge*> worker_depth_metric_ LSDF_CONST_AFTER_INIT;
 
   // Index of the worker the current thread is, or npos on external threads.
   static thread_local std::size_t current_worker_;

@@ -71,14 +71,18 @@ FlightRecorder::Ring& FlightRecorder::local_ring() {
   } cache;
   if (cache.owner == this) return *cache.ring;
   const chk::LockGuard lock(mutex_);
-  std::unique_ptr<Ring>& slot = rings_[std::this_thread::get_id()];
-  if (!slot) {
-    slot = std::make_unique<Ring>(capacity_.load(std::memory_order_relaxed));
-    slot->thread_number = static_cast<int>(rings_.size()) - 1;
+  const auto [it, inserted] =
+      ring_index_.try_emplace(std::this_thread::get_id(), rings_.size());
+  if (inserted) {
+    auto ring =
+        std::make_unique<Ring>(capacity_.load(std::memory_order_relaxed));
+    ring->thread_number = static_cast<int>(it->second);
+    rings_.push_back(std::move(ring));
   }
+  Ring& ring = *rings_[it->second];
   cache.owner = this;
-  cache.ring = slot.get();
-  return *slot;
+  cache.ring = &ring;
+  return ring;
 }
 
 void FlightRecorder::record(char kind, std::string_view name) {
@@ -117,7 +121,7 @@ std::string FlightRecorder::dump() const {
   {
     const chk::LockGuard lock(mutex_);
     thread_count = rings_.size();
-    for (const auto& [tid, ring] : rings_) {
+    for (const auto& ring : rings_) {
       const std::uint64_t next = ring->next.load(std::memory_order_acquire);
       const std::uint64_t kept =
           std::min<std::uint64_t>(next, ring->slots.size());
@@ -228,7 +232,7 @@ void FlightRecorder::on_contract_failure(const char* what) {
 std::uint64_t FlightRecorder::recorded() const {
   const chk::LockGuard lock(mutex_);
   std::uint64_t total = 0;
-  for (const auto& [tid, ring] : rings_) {
+  for (const auto& ring : rings_) {
     total += ring->next.load(std::memory_order_relaxed);
   }
   return total;
@@ -236,7 +240,7 @@ std::uint64_t FlightRecorder::recorded() const {
 
 void FlightRecorder::clear() {
   const chk::LockGuard lock(mutex_);
-  for (auto& [tid, ring] : rings_) {
+  for (auto& ring : rings_) {
     ring->next.store(0, std::memory_order_relaxed);
   }
 }

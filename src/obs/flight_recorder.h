@@ -107,8 +107,12 @@ class FlightRecorder {
   std::atomic<bool> enabled_{false};
   std::atomic<std::size_t> capacity_{kDefaultCapacity};
   mutable chk::TrackedMutex mutex_{"obs.flight_recorder"};
-  std::map<std::thread::id, std::unique_ptr<Ring>> rings_
-      LSDF_GUARDED_BY(mutex_);
+  // Rings in registration order (index == Ring::thread_number), so dump(),
+  // recorded(), and clear() iterate deterministically. The thread-id map is
+  // lookup-only — nothing observable ever follows its iteration order,
+  // which would vary run to run with thread-id assignment.
+  std::vector<std::unique_ptr<Ring>> rings_ LSDF_GUARDED_BY(mutex_);
+  std::map<std::thread::id, std::size_t> ring_index_ LSDF_GUARDED_BY(mutex_);
   std::string postmortem_dir_ LSDF_GUARDED_BY(mutex_);
   mutable std::atomic<std::uint64_t> postmortem_seq_{0};
 };

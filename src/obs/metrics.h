@@ -145,7 +145,8 @@ class MetricsRegistry {
                                      std::vector<double> bounds,
                                      const Labels& labels = {});
   // Log-bucketed latency histogram (see obs/hdr_histogram.h). The house
-  // rule — enforced by tools/lint.py — is that every `*_seconds` latency
+  // rule — enforced by lsdf_lint's hdr-latency check — is that every
+  // `*_seconds` latency
   // instrument in src/ uses this; fixed-boundary histograms stay for
   // size/count distributions. Exported as a Prometheus summary with
   // quantile="0.5/0.9/0.99/0.999/1" series.

@@ -107,7 +107,7 @@ class Tracer {
   std::atomic<int> pid_{1};
   mutable chk::TrackedMutex mutex_{"obs.tracer"};
   std::function<std::int64_t()> sim_clock_nanos_ LSDF_GUARDED_BY(mutex_);
-  std::chrono::steady_clock::time_point epoch_ =
+  std::chrono::steady_clock::time_point epoch_ LSDF_CONST_AFTER_INIT =
       std::chrono::steady_clock::now();
   std::vector<TraceEvent> events_ LSDF_GUARDED_BY(mutex_);
   std::unordered_map<std::thread::id, int> thread_ids_

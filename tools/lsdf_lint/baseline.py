@@ -1,0 +1,76 @@
+"""Per-rule baselines: grandfathered findings for incremental adoption.
+
+A baseline file `baselines/<rule-name>.txt` lists repo-relative paths (one
+per line, `#` comments allowed) whose findings for that rule are accepted.
+The engine suppresses matching findings and reports stale entries (listed
+paths that produced no finding) so baselines shrink monotonically.
+
+The repo's own policy is stricter than the mechanism: every baseline ships
+empty (the PR that adds a rule also fixes what it finds). The files exist
+so a future large refactor can land with `--write-baselines` and burn the
+debt down over follow-ups without turning the gate off.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from pathlib import Path
+
+from .rules import Finding
+
+
+def baseline_dir(package_root: Path) -> Path:
+    return package_root / "baselines"
+
+
+def load(package_root: Path) -> dict[str, set[str]]:
+    """rule name -> set of repo-relative paths with accepted findings."""
+    accepted: dict[str, set[str]] = defaultdict(set)
+    directory = baseline_dir(package_root)
+    if not directory.is_dir():
+        return accepted
+    for path in sorted(directory.glob("*.txt")):
+        rule = path.stem
+        for line in path.read_text(encoding="utf-8").splitlines():
+            entry = line.split("#", 1)[0].strip()
+            if entry:
+                accepted[rule].add(entry)
+    return accepted
+
+
+def apply(
+    findings: list[Finding], accepted: dict[str, set[str]]
+) -> tuple[list[Finding], list[str]]:
+    """Filter baselined findings; also return stale-entry descriptions."""
+    kept: list[Finding] = []
+    used: dict[str, set[str]] = defaultdict(set)
+    for finding in findings:
+        if finding.file in accepted.get(finding.rule, ()):
+            used[finding.rule].add(finding.file)
+        else:
+            kept.append(finding)
+    stale = [
+        f"baseline entry unused: {path} ({rule})"
+        for rule, paths in sorted(accepted.items())
+        for path in sorted(paths - used.get(rule, set()))
+    ]
+    return kept, stale
+
+
+def write(package_root: Path, findings: list[Finding]) -> list[Path]:
+    """Write per-rule baseline files covering `findings`; return paths."""
+    directory = baseline_dir(package_root)
+    directory.mkdir(parents=True, exist_ok=True)
+    by_rule: dict[str, set[str]] = defaultdict(set)
+    for finding in findings:
+        by_rule[finding.rule].add(finding.file)
+    written = []
+    for rule, paths in sorted(by_rule.items()):
+        path = directory / f"{rule}.txt"
+        body = "".join(f"{p}\n" for p in sorted(paths))
+        path.write_text(
+            f"# Accepted {rule} findings — shrink, never grow.\n{body}",
+            encoding="utf-8",
+        )
+        written.append(path)
+    return written

@@ -1,0 +1,700 @@
+"""Per-file semantic pass over the token stream.
+
+Builds the small model the rules consume, with no pretence of being a full
+C++ parser — just the structures the LSDF rules need, extracted robustly:
+
+  * class/struct scopes with their member-field declarations, qualifiers
+    (`static`, `const`, `mutable`, references) and thread-safety
+    annotations (`LSDF_GUARDED_BY`, `LSDF_CONST_AFTER_INIT`), plus which
+    members are mutexes — feeds the lock-discipline rule;
+  * container declarations (`std::map`/`set`/`unordered_*`) with their key
+    type, and iteration sites (range-for, `.begin()`) — feeds the
+    determinism-escape rule;
+  * block-scoped alias bindings of shard references
+    (`auto& s = world.shard(i);`, `sim::Simulator* p = &w.shard(1);`)
+    followed through the enclosing scopes to `s.schedule_after(...)` /
+    `p->cancel(...)` uses — feeds the shard-boundary-alias rule, the case
+    the old regex rule documented it could not see;
+  * direct `shard(i).schedule_*` chains and raw `std::mutex` mentions.
+
+Heuristics are deliberate and pinned by fixtures (see tests/fixtures/):
+e.g. a top-level `const` anywhere in a member declaration exempts it from
+lock-discipline (so `const char* p;` is treated as const — acceptable for
+a lint that also ships clang -Werror=thread-safety in CI).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .tokenizer import Token, TokenizedFile
+
+STD_MUTEX_TYPES = {
+    "mutex",
+    "recursive_mutex",
+    "shared_mutex",
+    "timed_mutex",
+    "recursive_timed_mutex",
+    "shared_timed_mutex",
+}
+
+GUARDED_ANNOTATIONS = {
+    "LSDF_GUARDED_BY",
+    "LSDF_PT_GUARDED_BY",
+    "GUARDED_BY",
+    "PT_GUARDED_BY",
+}
+CONST_AFTER_INIT_ANNOTATIONS = {"LSDF_CONST_AFTER_INIT"}
+
+# Identifier-like tokens whose trailing (...) group is not a function
+# parameter list: annotation/attribute macros and friends.
+_NON_FUNCTION_CALL = re.compile(
+    r"^(LSDF_[A-Z0-9_]*|GUARDED_BY|PT_GUARDED_BY|alignas|decltype|noexcept)$"
+)
+
+# Member types that synchronize themselves (or are the synchronization):
+# exempt from the guarded-field requirement.
+_SYNC_TYPE_MARKERS = (
+    "TrackedMutex",
+    "condition_variable",
+    "once_flag",
+    "atomic",
+)
+
+_CONTAINERS = {
+    "map": False,
+    "set": False,
+    "multimap": False,
+    "multiset": False,
+    "unordered_map": True,
+    "unordered_set": True,
+    "unordered_multimap": True,
+    "unordered_multiset": True,
+}
+
+_SHARD_METHODS = {"schedule_at", "schedule_after", "cancel"}
+
+
+@dataclass
+class FieldInfo:
+    name: str
+    line: int
+    type_text: str
+    guarded: bool = False
+    const_after_init: bool = False
+    is_static: bool = False
+    is_const: bool = False
+    is_reference: bool = False
+
+    @property
+    def is_mutex(self) -> bool:
+        if "TrackedMutex" in self.type_text:
+            return True
+        return any(
+            f"std :: {name}" in self.type_text for name in STD_MUTEX_TYPES
+        )
+
+    @property
+    def is_sync_type(self) -> bool:
+        return any(marker in self.type_text for marker in _SYNC_TYPE_MARKERS)
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    line: int
+    fields: list[FieldInfo] = field(default_factory=list)
+
+    @property
+    def mutexes(self) -> list[FieldInfo]:
+        return [f for f in self.fields if f.is_mutex]
+
+
+@dataclass
+class ContainerDecl:
+    name: str
+    container: str  # map / set / unordered_map / ...
+    key_text: str
+    line: int
+
+    @property
+    def is_unordered(self) -> bool:
+        return _CONTAINERS[self.container]
+
+    @property
+    def key_is_pointer(self) -> bool:
+        return self.key_text.rstrip().endswith("*")
+
+    @property
+    def key_is_thread_id(self) -> bool:
+        return "thread :: id" in self.key_text
+
+
+@dataclass
+class Iteration:
+    base_name: str
+    line: int
+
+
+@dataclass
+class ShardUse:
+    method: str
+    line: int
+    alias: str = ""  # empty for the direct `shard(i).m(...)` form
+
+
+@dataclass
+class FileModel:
+    classes: list[ClassInfo] = field(default_factory=list)
+    container_decls: list[ContainerDecl] = field(default_factory=list)
+    # Declarations folded in from a sibling header (engine.check_file):
+    # consulted when resolving an iterated name, but never themselves
+    # reported against this file — the header is scanned in its own right.
+    external_container_decls: list[ContainerDecl] = field(
+        default_factory=list)
+    iterations: list[Iteration] = field(default_factory=list)
+    raw_mutex_lines: list[int] = field(default_factory=list)
+    shard_direct: list[ShardUse] = field(default_factory=list)
+    shard_alias: list[ShardUse] = field(default_factory=list)
+
+    def container_types_of(self, name: str) -> list[ContainerDecl]:
+        return [
+            d
+            for d in self.container_decls + self.external_container_decls
+            if d.name == name
+        ]
+
+
+def _match_forward(toks: list[Token], i: int, open_text: str,
+                   close_text: str) -> int:
+    """Index of the token closing the group opened at i (len(toks) if none)."""
+    depth = 0
+    while i < len(toks):
+        text = toks[i].text
+        if text == open_text:
+            depth += 1
+        elif text == close_text:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return len(toks)
+
+
+def _match_angles(toks: list[Token], i: int) -> int:
+    """Index of the `>` closing the template-argument list opened at i.
+
+    Tracks nested `<`/`>`; a `>>` token closes two levels. Bails (returns
+    len) on `;` so a stray comparison can not send the scan to EOF.
+    """
+    depth = 0
+    while i < len(toks):
+        text = toks[i].text
+        if text == "<":
+            depth += 1
+        elif text == ">":
+            depth -= 1
+            if depth == 0:
+                return i
+        elif text == ">>":
+            depth -= 2
+            if depth <= 0:
+                return i
+        elif text == ";":
+            return len(toks)
+        i += 1
+    return len(toks)
+
+
+def analyze(tf: TokenizedFile) -> FileModel:
+    toks = [t for t in tf.tokens if t.kind != "pp"]
+    model = FileModel()
+    _find_classes(toks, model)
+    _find_container_decls(toks, model)
+    _find_iterations(toks, model)
+    _find_raw_mutexes(toks, model)
+    _find_shard_uses(toks, model)
+    return model
+
+
+# -- classes and fields -------------------------------------------------------
+
+
+def _find_classes(toks: list[Token], model: FileModel) -> None:
+    i = 0
+    while i < len(toks):
+        t = toks[i]
+        if (
+            t.kind == "id"
+            and t.text in ("class", "struct")
+            and not (i > 0 and toks[i - 1].text == "enum")
+        ):
+            parsed = _parse_class_head(toks, i)
+            if parsed is not None:
+                name, body_open = parsed
+                body_close = _match_forward(toks, body_open, "{", "}")
+                info = ClassInfo(name=name, line=t.line)
+                _scan_members(toks, body_open + 1, body_close, info)
+                model.classes.append(info)
+                # Continue *inside* the body so nested classes are found.
+        i += 1
+
+
+def _parse_class_head(toks: list[Token], i: int) -> tuple[str, int] | None:
+    """Return (name, index of body `{`) or None for non-definitions.
+
+    Rejects `template <class T>` parameters, forward declarations and
+    anything that does not look like `class [macros] Name [final]
+    [: bases] {`.
+    """
+    j = i + 1
+    # Skip attribute/annotation macros (with optional parens) and alignas.
+    name = None
+    while j < len(toks):
+        t = toks[j]
+        if t.kind == "id" and _NON_FUNCTION_CALL.match(t.text):
+            j += 1
+            if j < len(toks) and toks[j].text == "(":
+                j = _match_forward(toks, j, "(", ")") + 1
+            continue
+        if t.text == "[" and j + 1 < len(toks) and toks[j + 1].text == "[":
+            j = _match_forward(toks, j, "[", "]") + 1
+            continue
+        break
+    if j >= len(toks) or toks[j].kind != "id":
+        return None
+    name = toks[j].text
+    j += 1
+    if j < len(toks) and toks[j].text == "final":
+        j += 1
+    if j >= len(toks):
+        return None
+    if toks[j].text == "{":
+        return name, j
+    if toks[j].text == ":":
+        # Base clause: scan to the body `{`, bailing on anything that means
+        # this was not a class head after all (e.g. a template parameter).
+        while j < len(toks):
+            text = toks[j].text
+            if text == "{":
+                return name, j
+            if text == "<":
+                j = _match_angles(toks, j)
+                continue
+            if text in (";", ")", ">", "("):
+                return None
+            j += 1
+    return None
+
+
+def _scan_members(toks: list[Token], i: int, end: int,
+                  info: ClassInfo) -> None:
+    stmt: list[Token] = []
+    while i < end:
+        t = toks[i]
+        text = t.text
+        if (
+            t.kind == "id"
+            and text in ("public", "private", "protected")
+            and i + 1 < end
+            and toks[i + 1].text == ":"
+        ):
+            stmt = []
+            i += 2
+            continue
+        if text == ";":
+            _classify_member(stmt, info)
+            stmt = []
+            i += 1
+            continue
+        if text == "(":
+            close = _match_forward(toks, i, "(", ")")
+            stmt.extend(toks[i : min(close + 1, end)])
+            i = close + 1
+            continue
+        if text == "{":
+            close = _match_forward(toks, i, "{", "}")
+            starts_nested = stmt and stmt[0].text in ("class", "struct",
+                                                      "union", "enum")
+            has_eq = any(s.text == "=" for s in stmt)
+            brace_init = (
+                not starts_nested
+                and stmt
+                and stmt[-1].kind == "id"
+                and not any(s.text == "(" for s in stmt)
+            )
+            if has_eq or brace_init:
+                # Default-member-initializer braces: part of the statement.
+                stmt.extend(toks[i : min(close + 1, end)])
+                i = close + 1
+                continue
+            # Nested class body or member function body: skip it. Nested
+            # classes are collected by _find_classes' own scan.
+            stmt = []
+            i = close + 1
+            continue
+        stmt.append(t)
+        i += 1
+
+
+def _classify_member(stmt: list[Token], info: ClassInfo) -> None:
+    if not stmt:
+        return
+    head = stmt[0].text
+    if head in ("using", "typedef", "friend", "static_assert", "template",
+                "enum", "class", "struct", "union", "operator"):
+        return
+    if any(s.text in ("~", "operator") for s in stmt):
+        return
+
+    # Function declaration: a top-level parameter list with no preceding
+    # `=`. Annotation-macro and alignas/decltype groups do not count.
+    angle = 0
+    saw_eq = False
+    is_function = False
+    k = 0
+    while k < len(stmt):
+        text = stmt[k].text
+        if text == "<":
+            close = _match_angles(stmt, k)
+            k = close + 1 if close < len(stmt) else len(stmt)
+            continue
+        if angle == 0:
+            if text == "=":
+                saw_eq = True
+            elif text == "(":
+                prev = stmt[k - 1] if k > 0 else None
+                if (
+                    not saw_eq
+                    and not (
+                        prev is not None
+                        and prev.kind == "id"
+                        and _NON_FUNCTION_CALL.match(prev.text)
+                    )
+                ):
+                    is_function = True
+                    break
+                k = _match_forward(stmt, k, "(", ")") + 1
+                continue
+        k += 1
+    if is_function:
+        return
+
+    # Split declarators on top-level commas (template args and initializer
+    # braces are at depth > 0).
+    segments: list[list[Token]] = [[]]
+    depth_round = depth_brace = 0
+    k = 0
+    while k < len(stmt):
+        tok = stmt[k]
+        text = tok.text
+        if text == "<":
+            close = _match_angles(stmt, k)
+            segments[-1].extend(stmt[k : min(close + 1, len(stmt))])
+            k = close + 1 if close < len(stmt) else len(stmt)
+            continue
+        if text in ("(", "["):
+            depth_round += 1
+        elif text in (")", "]"):
+            depth_round -= 1
+        elif text == "{":
+            depth_brace += 1
+        elif text == "}":
+            depth_brace -= 1
+        elif text == "," and depth_round == 0 and depth_brace == 0:
+            segments.append([])
+            k += 1
+            continue
+        segments[-1].append(tok)
+        k += 1
+
+    qualifiers = {s.text for s in segments[0]}
+    type_text = " ".join(s.text for s in segments[0])
+    for seg_index, seg in enumerate(segments):
+        name_tok = _declarator_name(seg)
+        if name_tok is None:
+            continue
+        seg_texts = {s.text for s in seg}
+        field_info = FieldInfo(
+            name=name_tok.text,
+            line=name_tok.line,
+            type_text=type_text,
+            guarded=bool(seg_texts & GUARDED_ANNOTATIONS),
+            const_after_init=bool(seg_texts & CONST_AFTER_INIT_ANNOTATIONS),
+            is_static="static" in qualifiers or "constexpr" in qualifiers,
+            is_const="const" in qualifiers or "constexpr" in qualifiers,
+            is_reference=_is_reference(segments[0] if seg_index == 0 else seg,
+                                       name_tok),
+        )
+        info.fields.append(field_info)
+
+
+def _declarator_name(seg: list[Token]) -> Token | None:
+    """Last identifier before `=` / brace-init / annotation macro / `[`."""
+    last: Token | None = None
+    k = 0
+    while k < len(seg):
+        tok = seg[k]
+        text = tok.text
+        if text == "<":
+            close = _match_angles(seg, k)
+            k = close + 1 if close < len(seg) else len(seg)
+            continue
+        if text in ("=", "{", "["):
+            break
+        if tok.kind == "id":
+            if _NON_FUNCTION_CALL.match(text) or text in GUARDED_ANNOTATIONS:
+                break
+            if text not in ("const", "constexpr", "static", "mutable",
+                            "inline", "thread_local", "volatile", "final"):
+                last = tok
+        k += 1
+    return last
+
+
+def _is_reference(seg: list[Token], name_tok: Token) -> bool:
+    angle = 0
+    for tok in seg:
+        if tok is name_tok:
+            return False
+        if tok.text == "<":
+            angle += 1
+        elif tok.text == ">":
+            angle = max(0, angle - 1)
+        elif tok.text == ">>":
+            angle = max(0, angle - 2)
+        elif tok.text in ("&", "&&") and angle == 0:
+            return True
+    return False
+
+
+# -- container declarations and iteration sites -------------------------------
+
+
+def _find_container_decls(toks: list[Token], model: FileModel) -> None:
+    i = 0
+    while i + 3 < len(toks):
+        if (
+            toks[i].text == "std"
+            and toks[i + 1].text == "::"
+            and toks[i + 2].kind == "id"
+            and toks[i + 2].text in _CONTAINERS
+            and toks[i + 3].text == "<"
+        ):
+            container = toks[i + 2].text
+            close = _match_angles(toks, i + 3)
+            if close >= len(toks):
+                i += 1
+                continue
+            key_text = _first_template_arg(toks, i + 3, close)
+            # Declared name: the next identifier after the closing `>`,
+            # skipping `*`/`&` declarator decorations. Anything else (e.g.
+            # `(` for a temporary, `>` for a nested template arg) means
+            # this mention declared nothing.
+            j = close + 1
+            while j < len(toks) and toks[j].text in ("*", "&", "&&", "const"):
+                j += 1
+            if j < len(toks) and toks[j].kind == "id":
+                model.container_decls.append(
+                    ContainerDecl(
+                        name=toks[j].text,
+                        container=container,
+                        key_text=key_text,
+                        line=toks[j].line,
+                    )
+                )
+            i = close + 1
+            continue
+        i += 1
+
+
+def _first_template_arg(toks: list[Token], open_angle: int,
+                        close_angle: int) -> str:
+    depth = 0
+    parts: list[str] = []
+    k = open_angle
+    while k < close_angle:
+        text = toks[k].text
+        if text == "<":
+            depth += 1
+            if depth == 1:
+                k += 1
+                continue
+        elif text == ">":
+            depth -= 1
+        elif text == ">>":
+            depth -= 2
+        elif text == "," and depth == 1:
+            break
+        if depth >= 1:
+            parts.append(text)
+        k += 1
+    return " ".join(parts)
+
+
+def _find_iterations(toks: list[Token], model: FileModel) -> None:
+    i = 0
+    while i < len(toks):
+        t = toks[i]
+        # Range-for: `for ( decl : expr )`.
+        if t.kind == "id" and t.text == "for" and i + 1 < len(toks) \
+                and toks[i + 1].text == "(":
+            close = _match_forward(toks, i + 1, "(", ")")
+            depth = 0
+            colon = -1
+            for k in range(i + 2, close):
+                text = toks[k].text
+                if text in ("(", "[", "{"):
+                    depth += 1
+                elif text in (")", "]", "}"):
+                    depth -= 1
+                elif text == ":" and depth == 0:
+                    colon = k
+                    break
+            if colon != -1:
+                base = _trailing_identifier(toks, colon + 1, close)
+                if base is not None:
+                    model.iterations.append(Iteration(base.text, base.line))
+            i = close + 1
+            continue
+        # Iterator loops: `x.begin()` / `x->begin()` (and cbegin/rbegin).
+        if (
+            t.kind == "id"
+            and t.text in ("begin", "cbegin", "rbegin")
+            and i + 1 < len(toks)
+            and toks[i + 1].text == "("
+            and i >= 2
+            and toks[i - 1].text in (".", "->")
+            and toks[i - 2].kind == "id"
+        ):
+            model.iterations.append(Iteration(toks[i - 2].text,
+                                              toks[i - 2].line))
+        i += 1
+
+
+def _trailing_identifier(toks: list[Token], start: int,
+                         end: int) -> Token | None:
+    """Base identifier of the expression in [start, end): the last plain
+    identifier that is not a call (so `m.find(k)` yields `m`... in practice
+    the range expression of a range-for, where the last id not followed by
+    `(` is the container)."""
+    last = None
+    for k in range(start, end):
+        tok = toks[k]
+        if tok.kind == "id":
+            if k + 1 < end and toks[k + 1].text == "(":
+                continue
+            last = tok
+    return last
+
+
+# -- raw mutexes and shard uses -----------------------------------------------
+
+
+def _find_raw_mutexes(toks: list[Token], model: FileModel) -> None:
+    for i in range(len(toks) - 2):
+        if (
+            toks[i].text == "std"
+            and toks[i + 1].text == "::"
+            and toks[i + 2].kind == "id"
+            and toks[i + 2].text in STD_MUTEX_TYPES
+        ):
+            model.raw_mutex_lines.append(toks[i].line)
+
+
+def _find_shard_uses(toks: list[Token], model: FileModel) -> None:
+    # Direct form: `shard ( ... ) . method (`.
+    i = 0
+    while i < len(toks):
+        t = toks[i]
+        if t.kind == "id" and t.text == "shard" and i + 1 < len(toks) \
+                and toks[i + 1].text == "(":
+            close = _match_forward(toks, i + 1, "(", ")")
+            if (
+                close + 2 < len(toks)
+                and toks[close + 1].text in (".", "->")
+                and toks[close + 2].kind == "id"
+                and toks[close + 2].text in _SHARD_METHODS
+                and close + 3 < len(toks)
+                and toks[close + 3].text == "("
+            ):
+                model.shard_direct.append(
+                    ShardUse(toks[close + 2].text, t.line)
+                )
+            i = close + 1
+            continue
+        i += 1
+
+    # Alias form: a block-scoped binding whose initializer is a shard
+    # accessor (optionally address-of), later used to schedule or cancel.
+    scopes: list[set[str]] = [set()]
+    aliases: dict[str, int] = {}  # name -> depth it was bound at
+
+    def bind(name: str) -> None:
+        scopes[-1].add(name)
+        aliases[name] = len(scopes) - 1
+
+    stmt: list[Token] = []
+    i = 0
+    while i < len(toks):
+        t = toks[i]
+        text = t.text
+        if text == "{":
+            scopes.append(set())
+            stmt = []
+        elif text == "}":
+            for name in scopes.pop():
+                aliases.pop(name, None)
+            if not scopes:
+                scopes = [set()]
+            stmt = []
+        elif text == ";":
+            _maybe_bind_alias(stmt, bind)
+            stmt = []
+        else:
+            stmt.append(t)
+            # Use of an alias: `name . schedule_after (` etc.
+            if (
+                t.kind == "id"
+                and t.text in aliases
+                and i + 3 < len(toks)
+                and toks[i + 1].text in (".", "->")
+                and toks[i + 2].kind == "id"
+                and toks[i + 2].text in _SHARD_METHODS
+                and toks[i + 3].text == "("
+            ):
+                model.shard_alias.append(
+                    ShardUse(toks[i + 2].text, t.line, alias=t.text)
+                )
+        i += 1
+
+
+def _maybe_bind_alias(stmt: list[Token], bind) -> None:
+    """Record `TYPE[&*] name = [&] expr.shard(...)` bindings."""
+    eq = next((k for k, s in enumerate(stmt) if s.text == "="), None)
+    if eq is None or eq < 2:
+        return
+    lhs, rhs = stmt[:eq], stmt[eq + 1 :]
+    if not rhs or lhs[-1].kind != "id":
+        return
+    # The initializer must *end* with the shard accessor call: a chained
+    # `w.shard(i).now()` binds the result of now(), not the shard.
+    if rhs[-1].text != ")":
+        return
+    depth = 0
+    open_idx = None
+    for k in range(len(rhs) - 1, -1, -1):
+        text = rhs[k].text
+        if text == ")":
+            depth += 1
+        elif text == "(":
+            depth -= 1
+            if depth == 0:
+                open_idx = k
+                break
+    if open_idx is None or open_idx == 0:
+        return
+    head = rhs[open_idx - 1]
+    if head.kind == "id" and head.text == "shard":
+        bind(lhs[-1].text)

@@ -1,0 +1,12 @@
+#include "obs/handles.h"
+
+namespace lsdf::obs {
+
+void HandleTable::visit() {
+  for (const auto& [tid, count] : by_thread_) {
+    (void)tid;
+    (void)count;
+  }
+}
+
+}  // namespace lsdf::obs

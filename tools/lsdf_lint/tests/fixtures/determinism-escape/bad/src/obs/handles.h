@@ -1,0 +1,25 @@
+//! Fixture: address-ordered containers leak ASLR into iteration order.
+#pragma once
+
+#include <map>
+#include <set>
+#include <thread>
+
+namespace lsdf::obs {
+
+struct Session;
+
+class HandleTable {
+ public:
+  void visit();
+
+ private:
+  std::map<Session*, int> by_session_;
+  std::map<std::thread::id, int> by_thread_;
+};
+
+inline void touch(std::set<Session*, std::less<Session*>>& live) {
+  (void)live;
+}
+
+}  // namespace lsdf::obs

@@ -1,0 +1,13 @@
+#include "sim/registry.h"
+
+namespace lsdf::sim {
+
+int Registry::total() const {
+  int sum = 0;
+  for (const auto& [id, weight] : items_) {
+    sum += weight;
+  }
+  return sum;
+}
+
+}  // namespace lsdf::sim

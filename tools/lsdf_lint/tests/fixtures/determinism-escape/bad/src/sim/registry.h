@@ -1,0 +1,18 @@
+//! Fixture: hash-ordered member iterated in a determinism-critical path
+//! (the iteration lives in the sibling .cpp — the engine folds this
+//! header's declarations into the .cpp's model).
+#pragma once
+
+#include <unordered_map>
+
+namespace lsdf::sim {
+
+class Registry {
+ public:
+  int total() const;
+
+ private:
+  std::unordered_map<int, int> items_;
+};
+
+}  // namespace lsdf::sim

@@ -1,0 +1,36 @@
+//! Fixture: what the determinism-escape rule deliberately permits.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace lsdf::obs {
+
+struct Session;
+
+class Stats {
+ public:
+  int sum() const {
+    int total = 0;
+    // Unordered iteration outside the determinism-critical dirs is legal:
+    // src/obs feeds humans, not the event order.
+    for (const auto& [id, count] : counts_) {
+      total += count;
+    }
+    return total;
+  }
+
+  int lookup(Session* session) const {
+    // Pointer-keyed *unordered* container: pure lookup, never ordered by
+    // address, so it stays legal everywhere.
+    auto it = by_session_.find(session);
+    return it == by_session_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::unordered_map<int, int> counts_;
+  std::unordered_map<Session*, int> by_session_;
+};
+
+}  // namespace lsdf::obs

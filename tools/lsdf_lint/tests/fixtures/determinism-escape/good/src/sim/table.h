@@ -1,0 +1,29 @@
+//! Fixture: ordered/registration-ordered iteration in the critical path.
+#pragma once
+
+#include <map>
+#include <vector>
+
+namespace lsdf::sim {
+
+class Table {
+ public:
+  int total() const {
+    int sum = 0;
+    // std::map over a value key iterates in key order — deterministic.
+    for (const auto& [id, weight] : weights_) {
+      sum += weight;
+    }
+    // Vectors iterate in insertion order — deterministic.
+    for (int v : order_) {
+      sum += v;
+    }
+    return sum;
+  }
+
+ private:
+  std::map<int, int> weights_;
+  std::vector<int> order_;
+};
+
+}  // namespace lsdf::sim

@@ -1,0 +1,25 @@
+//! Fixture: banned nondeterminism sources in ordinary src code.
+#pragma once
+
+#include <chrono>
+#include <random>
+
+namespace lsdf {
+
+// The char literal below opens with a double-quote character: the old
+// regex linter's comment stripper treated it as a string opener and went
+// blind to everything after it (the char_literal_desync regression).
+inline char quote() { return '"'; }
+
+inline int roll() { return rand() % 6; }
+
+inline unsigned seed() {
+  std::random_device rd;
+  return rd();
+}
+
+inline long wall_nanos() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace lsdf

@@ -1,0 +1,11 @@
+//! Fixture: the allowlisted seeding module may touch std::random_device.
+#pragma once
+
+#include <random>
+
+namespace lsdf {
+inline unsigned hardware_seed() {
+  std::random_device rd;
+  return rd();
+}
+}  // namespace lsdf

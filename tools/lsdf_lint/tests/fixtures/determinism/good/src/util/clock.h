@@ -1,0 +1,18 @@
+//! Fixture: steady_clock and member calls spelled rand() are both fine.
+#pragma once
+
+#include <chrono>
+
+namespace lsdf {
+
+inline long mono_nanos() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+// A member call spelled rand() is not ::rand(); the rule looks at the
+// token before the name.
+struct Dice;
+int roll(Dice& d);
+inline int roll_impl(Dice& d) { return d.rand() + Dice::rand(d); }
+
+}  // namespace lsdf

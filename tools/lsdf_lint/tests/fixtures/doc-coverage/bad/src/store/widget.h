@@ -1,0 +1,8 @@
+// A widget. (A plain comment, not a //! module comment.)
+#pragma once
+
+namespace lsdf {
+struct Widget {
+  int id = 0;
+};
+}  // namespace lsdf

@@ -1,0 +1,8 @@
+//! Fixture: the widget store, documented the house way.
+#pragma once
+
+namespace lsdf {
+struct Widget {
+  int id = 0;
+};
+}  // namespace lsdf

@@ -1,0 +1,8 @@
+#include "obs/metrics.h"
+
+namespace lsdf::obs {
+void register_fixture(MetricsRegistry& registry) {
+  auto& h = registry.histogram("lsdf_request_latency_seconds", {0.1, 1.0});
+  (void)h;
+}
+}  // namespace lsdf::obs

@@ -1,0 +1,11 @@
+#include "obs/metrics.h"
+
+namespace lsdf::obs {
+void register_fixture(MetricsRegistry& registry) {
+  // Latency goes to the log-bucketed histogram; sizes keep fixed buckets.
+  auto& latency = registry.hdr_histogram("lsdf_request_latency_seconds");
+  auto& sizes = registry.histogram("lsdf_batch_bytes", {1024.0, 65536.0});
+  (void)latency;
+  (void)sizes;
+}
+}  // namespace lsdf::obs

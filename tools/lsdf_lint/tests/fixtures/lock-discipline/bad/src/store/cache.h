@@ -1,0 +1,25 @@
+//! Fixture: unguarded state in a mutex-owning class, plus a raw mutex.
+#pragma once
+
+#include <mutex>
+#include <string>
+
+#include "chk/lock_registry.h"
+#include "chk/thread_annotations.h"
+
+namespace lsdf {
+
+class Cache {
+ public:
+  void put(std::string key);
+
+ private:
+  chk::TrackedMutex mutex_{"store.cache"};
+  std::string last_key_;
+};
+
+struct Legacy {
+  std::mutex lock;
+};
+
+}  // namespace lsdf

@@ -1,0 +1,11 @@
+//! Fixture: the lock layer itself may hold raw std::mutex — TrackedMutex
+//! cannot track the mutex it is built on.
+#pragma once
+
+#include <mutex>
+
+namespace lsdf::chk {
+struct RegistryShard {
+  std::mutex lock;
+};
+}  // namespace lsdf::chk

@@ -1,0 +1,26 @@
+//! Fixture: every mutable field of a mutex-owning class is annotated.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "chk/lock_registry.h"
+#include "chk/thread_annotations.h"
+
+namespace lsdf {
+
+class Cache {
+ public:
+  void put(std::string key);
+
+ private:
+  static constexpr int kShards = 4;
+  chk::TrackedMutex mutex_{"store.cache"};
+  std::string last_key_ LSDF_GUARDED_BY(mutex_);
+  std::vector<int> sizes_ LSDF_CONST_AFTER_INIT;
+  std::atomic<int> hits_{0};
+  const int capacity_ = 128;
+};
+
+}  // namespace lsdf

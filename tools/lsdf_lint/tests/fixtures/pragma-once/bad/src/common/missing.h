@@ -1,0 +1,5 @@
+//! Fixture: header without an include guard.
+
+namespace lsdf {
+inline int answer() { return 42; }
+}  // namespace lsdf

@@ -1,0 +1,5 @@
+// Fixture: .cpp files need no include guard.
+
+namespace lsdf {
+int free_fn() { return 7; }
+}  // namespace lsdf

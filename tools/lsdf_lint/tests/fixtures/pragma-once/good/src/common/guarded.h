@@ -1,0 +1,6 @@
+//! Fixture: the guard may follow the module comment.
+#pragma once
+
+namespace lsdf {
+inline int answer() { return 42; }
+}  // namespace lsdf

@@ -1,0 +1,8 @@
+#include "common/require.h"
+
+namespace lsdf {
+void validate(int n) {
+  LSDF_REQUIRE(n > 0, "");
+  LSDF_DCHECK(n < 100, "");
+}
+}  // namespace lsdf

@@ -1,0 +1,8 @@
+#include "common/require.h"
+
+namespace lsdf {
+void validate(int n) {
+  LSDF_REQUIRE(n > 0, "n must be positive");
+  LSDF_DCHECK(n < 100, "n bounded by construction (caller clamps)");
+}
+}  // namespace lsdf

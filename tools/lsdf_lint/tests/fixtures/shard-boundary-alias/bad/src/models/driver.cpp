@@ -1,0 +1,18 @@
+#include "sim/sim_sharded.h"
+
+namespace lsdf {
+
+// The exact escape the old regex rule documented it could not see: the
+// shard reference leaves the `shard(i).` expression through a local
+// binding, then schedules through it.
+void reference_alias(sim::ShardedSimulator& world) {
+  auto& s = world.shard(1);
+  s.schedule_after(10, nullptr);
+}
+
+void pointer_alias(sim::ShardedSimulator& world) {
+  sim::Simulator* foreign = &world.shard(0);
+  foreign->schedule_after(5, nullptr);
+}
+
+}  // namespace lsdf

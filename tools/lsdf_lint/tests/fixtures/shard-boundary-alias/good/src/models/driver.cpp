@@ -1,0 +1,34 @@
+#include "sim/sim_sharded.h"
+
+namespace lsdf {
+
+struct Site {
+  explicit Site(sim::Simulator& sim) : sim_(sim) {}
+  sim::Simulator& sim_;
+};
+
+void sanctioned(sim::ShardedSimulator& world) {
+  // Reads through an alias are fine — only schedule_*/cancel break the
+  // lookahead contract.
+  auto& s = world.shard(1);
+  auto now = s.now();
+  (void)now;
+
+  // Handing the shard to a model's constructor is the wiring idiom: the
+  // model runs *on* that shard, so its scheduling is shard-local.
+  Site site(world.shard(0));
+  (void)site;
+
+  // The alias dies with its block; a same-named local in a later block
+  // is not a shard reference.
+  {
+    auto& t = world.shard(1);
+    (void)t.event_count();
+  }
+  {
+    int t = 3;
+    (void)t;
+  }
+}
+
+}  // namespace lsdf

@@ -1,0 +1,7 @@
+#include "sim/sim_sharded.h"
+
+namespace lsdf {
+void misuse(sim::ShardedSimulator& sharded) {
+  sharded.shard(1).schedule_after(10, nullptr);
+}
+}  // namespace lsdf

@@ -1,0 +1,10 @@
+//! Fixture: std::function in the event kernel's hot path.
+#pragma once
+
+#include <functional>
+
+namespace lsdf::sim {
+struct Event {
+  std::function<void()> callback;
+};
+}  // namespace lsdf::sim

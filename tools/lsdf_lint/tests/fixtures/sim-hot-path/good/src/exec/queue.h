@@ -1,0 +1,10 @@
+//! Fixture: std::function outside src/sim is unrestricted.
+#pragma once
+
+#include <functional>
+
+namespace lsdf::exec {
+struct Queue {
+  std::function<void()> drain;
+};
+}  // namespace lsdf::exec

@@ -1,0 +1,9 @@
+//! Fixture: InlineCallback keeps event slots allocation-free.
+#pragma once
+
+namespace lsdf::sim {
+class InlineCallback;
+struct Event {
+  InlineCallback* callback = nullptr;
+};
+}  // namespace lsdf::sim

@@ -1,0 +1,10 @@
+//! Fixture: raw std::thread outside src/exec.
+#pragma once
+
+#include <thread>
+
+namespace lsdf {
+struct Worker {
+  std::thread loop_;
+};
+}  // namespace lsdf

@@ -1,0 +1,10 @@
+//! Fixture: src/exec is the one place that owns threads.
+#pragma once
+
+#include <thread>
+
+namespace lsdf::exec {
+struct Pool {
+  std::thread worker_;
+};
+}  // namespace lsdf::exec

@@ -1,0 +1,10 @@
+//! Fixture: std::thread::id is a value type, not a thread.
+#pragma once
+
+#include <thread>
+
+namespace lsdf {
+inline bool same_thread(std::thread::id a, std::thread::id b) {
+  return a == b;
+}
+}  // namespace lsdf

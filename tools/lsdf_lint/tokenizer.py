@@ -1,0 +1,129 @@
+"""C++ tokenizer for the LSDF lint engine.
+
+Dependency-free, regex-driven, and deliberately small: it produces exactly
+the token stream the rules need (identifiers, numbers, string/char
+literals, punctuators, and whole preprocessor directives), skips comments
+and whitespace, and records NOLINT suppression comments per line.
+
+Why a tokenizer at all: the old `tools/lint.py` stripped comments with a
+hand-rolled scanner that treated any `"` as a string opener. A char
+literal holding a quote — `char q = '"';` — desynchronized it: everything
+up to the *next* `"` in the file was blanked as "string contents", which
+could hide real findings (or fabricate them when the stripper
+resynchronized mid-string). Tokenizing chars, strings, raw strings and
+comments in one grammar makes that class of bug structurally impossible;
+`selftest.py` keeps the original reproducer as a named regression
+(`char_literal_desync`).
+
+Token kinds:
+  id     identifier (keywords are not distinguished)
+  num    pp-number (includes digit separators and literal suffixes: 10'000,
+         3_ms, 0x1fULL)
+  str    string literal, with encoding prefix / raw form preserved verbatim
+  char   character literal
+  punct  operator or punctuator (longest-match, `::` vs `:` etc.)
+  pp     one whole preprocessor directive, continuations folded, text
+         normalized to single spaces (e.g. "# pragma once")
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+
+
+@dataclass
+class TokenizedFile:
+    tokens: list[Token] = field(default_factory=list)
+    # line -> set of rule names suppressed on that line; "*" suppresses all.
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+
+# Order matters: raw strings before plain strings (so `R"` is not read as
+# an identifier `R` plus a string) and before identifiers; comments before
+# the `/` punctuator; numbers before `.` so `.5` lexes as one pp-number.
+_MASTER = re.compile(
+    r"""
+      (?P<raw>(?:u8|u|U|L)?R"(?P<delim>[^()\s\\]{0,16})\((?s:.*?)\)(?P=delim)")
+    | (?P<str>(?:u8|u|U|L)?"(?:[^"\\\n]|\\.)*")
+    | (?P<char>(?:u8|u|U|L)?'(?:[^'\\\n]|\\.)+')
+    | (?P<lcom>//[^\n]*)
+    | (?P<bcom>/\*(?s:.*?)\*/)
+    | (?P<num>\.?\d(?:[0-9a-zA-Z_.']|[eEpP][+-])*)
+    | (?P<id>[A-Za-z_]\w*)
+    | (?P<punct><<=|>>=|<=>|\.\.\.|->\*|::|->|<<|>>|<=|>=|==|!=|&&|\|\||\+=|-=|\*=|/=|%=|&=|\|=|\^=|\+\+|--|\#\#|[{}()\[\];,<>=&|^!~*/%+\-.?:#])
+    """,
+    re.VERBOSE,
+)
+
+_NOLINT = re.compile(r"NOLINT(?P<next>NEXTLINE)?(?:\s*\((?P<rules>[^)]*)\))?")
+
+
+def tokenize(text: str) -> TokenizedFile:
+    """Tokenize one translation unit's source text."""
+    result = TokenizedFile()
+    # Newline offsets for O(log n) offset->line mapping.
+    newlines = [m.start() for m in re.finditer(r"\n", text)]
+    raw_lines = text.split("\n")
+    # Physical line i (1-based) continues onto i+1 when it ends with `\`.
+    continued = [line.endswith("\\") for line in raw_lines]
+
+    def line_of(offset: int) -> int:
+        return bisect.bisect_right(newlines, offset - 1) + 1
+
+    tokens: list[Token] = []
+    for match in _MASTER.finditer(text):
+        kind = match.lastgroup
+        if kind == "delim":  # pragma: no cover - named group, never lastgroup
+            continue
+        line = line_of(match.start())
+        if kind in ("lcom", "bcom"):
+            note = _NOLINT.search(match.group())
+            if note:
+                rules = note.group("rules")
+                names = (
+                    {r.strip() for r in rules.split(",") if r.strip()}
+                    if rules
+                    else {"*"}
+                )
+                at = line + 1 if note.group("next") else line
+                result.suppressions.setdefault(at, set()).update(names)
+            continue
+        if kind == "raw":
+            kind = "str"
+        tokens.append(Token(kind, match.group(), line))
+
+    # Fold preprocessor directives: a `#` that is the first token on its
+    # physical line starts one; it spans to the end of its logical line
+    # (following backslash continuations).
+    folded: list[Token] = []
+    i = 0
+    prev_line = 0
+    while i < len(tokens):
+        tok = tokens[i]
+        if tok.kind == "punct" and tok.text == "#" and tok.line > prev_line:
+            last_line = tok.line
+            while last_line <= len(continued) and continued[last_line - 1]:
+                last_line += 1
+            j = i + 1
+            while j < len(tokens) and tokens[j].line <= last_line:
+                j += 1
+            directive = " ".join(t.text for t in tokens[i:j])
+            folded.append(Token("pp", directive, tok.line))
+            prev_line = last_line
+            i = j
+            continue
+        folded.append(tok)
+        prev_line = max(prev_line, tok.line)
+        i += 1
+
+    result.tokens = folded
+    return result
