@@ -6,12 +6,17 @@
 // shared with BioQuant through the MirrorService; measures mirror backlog
 // and throughput on the shared 10 GE WAN, then repeats the day with a
 // 2-hour WAN outage to show the retry/stall machinery holding the backlog
-// instead of losing data.
+// instead of losing data. A final section re-runs both days with the
+// mirror expressed as a single federation rule (fed::FederationService,
+// DESIGN.md §4i) and checks the results are identical — the evidence that
+// the rule engine generalises the mirror without changing its behaviour.
+#include <cmath>
 #include <memory>
 
 #include "bench_util.h"
 #include "core/facility.h"
 #include "core/mirror.h"
+#include "fed/federation.h"
 #include "ingest/sources.h"
 #include "net/link_monitor.h"
 
@@ -28,7 +33,11 @@ struct DayResult {
   double backlog_peak = 0.0;
 };
 
-DayResult run_day(bool outage) {
+// Runs the acquisition day either through the dedicated MirrorService or
+// through a FederationService carrying the mirror as its single rule
+// (same trigger tag, retry contract, concurrency and backoff seed) — the
+// two paths must produce identical numbers.
+DayResult run_day(bool outage, bool use_federation = false) {
   core::FacilityConfig config = core::small_facility_config();
   config.ingest.parallel_slots = 32;
   core::Facility facility(config);
@@ -44,9 +53,33 @@ DayResult run_day(bool outage) {
   mirror_config.retry.max_attempts = 50;  // outages must not lose data
   mirror_config.retry.initial_backoff = 5_min;
   mirror_config.retry.max_backoff = 15_min;
-  core::MirrorService mirror(sim, facility.network(), facility.metadata(),
-                             mirror_config);
-  mirror.start();
+
+  std::unique_ptr<core::MirrorService> mirror;
+  std::unique_ptr<fed::FederationService> federation;
+  if (use_federation) {
+    fed::FederationConfig fed_config;
+    fed_config.origin_gateway = mirror_config.local_gateway;
+    fed_config.wan_efficiency = mirror_config.wan_efficiency;
+    fed_config.max_concurrent = mirror_config.max_concurrent;
+    fed_config.retry = mirror_config.retry;
+    fed_config.retry_seed = mirror_config.retry_seed;  // same jitter stream
+    federation = std::make_unique<fed::FederationService>(
+        sim, facility.network(), facility.metadata(), fed_config);
+    federation->add_site({.name = "heidelberg",
+                          .gateway = mirror_config.remote_site,
+                          .storage = fed::StorageClass::kDisk});
+    federation->add_rule({.name = "heidelberg-mirror",
+                          .project = "zebrafish-htm",
+                          .trigger_tag = mirror_config.trigger_tag,
+                          .done_tag = mirror_config.done_tag,
+                          .copies = 1,
+                          .storage = fed::StorageClass::kDisk});
+    federation->start();
+  } else {
+    mirror = std::make_unique<core::MirrorService>(
+        sim, facility.network(), facility.metadata(), mirror_config);
+    mirror->start();
+  }
 
   // Policy: every 3rd frame is shared with BioQuant.
   facility.rules().add_rule(meta::Rule{
@@ -83,22 +116,41 @@ DayResult run_day(bool outage) {
   DayResult result;
   // Sample the mirror backlog hourly.
   sim::PeriodicTask backlog_probe(sim, 5_min, [&] {
-    result.backlog_peak = std::max(
-        result.backlog_peak,
-        static_cast<double>(mirror.queue_depth() + mirror.in_flight()));
+    const std::size_t depth =
+        use_federation
+            ? federation->backlog() +
+                  static_cast<std::size_t>(federation->in_flight())
+            : mirror->queue_depth() +
+                  static_cast<std::size_t>(mirror->in_flight());
+    result.backlog_peak =
+        std::max(result.backlog_peak, static_cast<double>(depth));
   });
   backlog_probe.start_at(SimTime::zero() + 5_min);
   sim.run_until(SimTime::zero() + 30_h);  // drain past the day's end
   backlog_probe.stop();
   wan.stop();
 
-  result.shared = mirror.stats().queued;
-  result.mirrored = mirror.stats().mirrored;
-  result.retries = mirror.stats().retries;
-  result.failures = mirror.stats().failed;
+  if (use_federation) {
+    result.shared = federation->stats().scheduled;
+    result.mirrored = federation->stats().replicated;
+    result.retries = federation->stats().retries;
+    result.failures = federation->stats().failed;
+  } else {
+    result.shared = mirror->stats().queued;
+    result.mirrored = mirror->stats().mirrored;
+    result.retries = mirror->stats().retries;
+    result.failures = mirror->stats().failed;
+  }
   result.wan_mean_utilization =
       wan.mean_utilization(facility.wan_link());
   return result;
+}
+
+bool same_day(const DayResult& a, const DayResult& b) {
+  return a.shared == b.shared && a.mirrored == b.mirrored &&
+         a.retries == b.retries && a.failures == b.failures &&
+         a.backlog_peak == b.backlog_peak &&
+         std::abs(a.wan_mean_utilization - b.wan_mean_utilization) < 1e-9;
 }
 
 }  // namespace
@@ -134,5 +186,19 @@ int main() {
                  static_cast<double>(outage.mirrored), "datasets");
   bench::compare("outage grows the backlog, not the failure count", 0.0,
                  static_cast<double>(outage.failures), "failures");
+
+  bench::section("both days again, as a one-rule federation (DESIGN.md §4i)");
+  const DayResult fed_normal = run_day(false, true);
+  const DayResult fed_outage = run_day(true, true);
+  bench::row("%-34s %lld mirrored, %lld retries, peak backlog %.0f",
+             "rule engine, normal day", (long long)fed_normal.mirrored,
+             (long long)fed_normal.retries, fed_normal.backlog_peak);
+  bench::row("%-34s %lld mirrored, %lld retries, peak backlog %.0f",
+             "rule engine, outage day", (long long)fed_outage.mirrored,
+             (long long)fed_outage.retries, fed_outage.backlog_peak);
+  bench::compare("rule engine reproduces the normal day exactly", 1.0,
+                 same_day(normal, fed_normal) ? 1.0 : 0.0, "bool");
+  bench::compare("rule engine reproduces the outage day exactly", 1.0,
+                 same_day(outage, fed_outage) ? 1.0 : 0.0, "bool");
   return 0;
 }

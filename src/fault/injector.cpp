@@ -140,6 +140,9 @@ void FaultInjector::inject(Component& component) {
   ++injected_;
   component.injected_metric->add(1);
   active_metric_.add(1.0);
+  for (const FaultObserver& observer : observers_) {
+    observer(timeline_.back());
+  }
   // A fault firing is exactly the moment a postmortem wants the recent
   // event history; snapshot the flight rings (DESIGN.md §4g).
   obs::FlightRecorder& recorder = obs::FlightRecorder::global();
@@ -156,6 +159,9 @@ void FaultInjector::restore(Component& component) {
   downtime_metric_.record(
       (simulator_.now() - component.failed_at).seconds());
   active_metric_.add(-1.0);
+  for (const FaultObserver& observer : observers_) {
+    observer(timeline_.back());
+  }
 }
 
 Status FaultInjector::schedule_fault(const std::string& component,

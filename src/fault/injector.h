@@ -79,6 +79,15 @@ class FaultInjector {
     topology_changed_ = std::move(callback);
   }
 
+  // Fault-event observers: called on every actual fail/restore transition,
+  // right after the record lands in timeline(). The federation layer uses
+  // this to turn site faults into replica loss and re-replication
+  // (DESIGN.md §4i); observers run in registration order.
+  using FaultObserver = std::function<void(const FaultRecord&)>;
+  void subscribe(FaultObserver observer) {
+    observers_.push_back(std::move(observer));
+  }
+
   // -- Fault plans -------------------------------------------------------------
   // `component` fails at `at` and recovers `duration` later.
   Status schedule_fault(const std::string& component, SimTime at,
@@ -143,6 +152,7 @@ class FaultInjector {
   std::uint64_t seed_;
   std::map<std::string, Component> components_;
   std::function<void()> topology_changed_;
+  std::vector<FaultObserver> observers_;
   std::vector<FaultRecord> timeline_;
   std::int64_t injected_ = 0;
   std::int64_t recovered_ = 0;

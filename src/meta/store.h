@@ -55,6 +55,17 @@ class MetadataStore {
   [[nodiscard]] Result<DatasetId> find_by_name(const std::string& project,
                                                const std::string& name) const;
   [[nodiscard]] std::vector<DatasetId> query(const Query& query) const;
+  // Every registered dataset id, ascending — the deterministic iteration
+  // order full catalogue sweeps (fed rule resolution) are built on.
+  [[nodiscard]] std::vector<DatasetId> dataset_ids() const {
+    std::vector<DatasetId> ids;
+    ids.reserve(records_.size());
+    for (const auto& [id, record] : records_) {
+      (void)record;
+      ids.push_back(id);
+    }
+    return ids;
+  }
   [[nodiscard]] std::size_t dataset_count() const { return records_.size(); }
   [[nodiscard]] Bytes total_bytes() const { return total_bytes_; }
 

@@ -82,6 +82,11 @@ class TransferEngine {
 
   [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
 
+  // The fabric this engine routes over — services that resolve node names
+  // from deployment files (fed site gateways) read it here instead of
+  // threading a second Topology reference through their constructors.
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+
   // Currently allocated wire rate over a link (post-allocation).
   [[nodiscard]] Rate link_load(LinkId id) const;
 

@@ -86,6 +86,27 @@ TEST(MirrorService, DuplicateRequestsAreDeduplicated) {
   EXPECT_EQ(f.mirror.stats().mirrored, 1);
 }
 
+TEST(MirrorService, ReTagWhileInFlightSchedulesNoDuplicate) {
+  // The edge case the federation rule engine must preserve (fed_test's
+  // InFlightCopySatisfiesTheRule): a request that is already on the wire
+  // satisfies later triggers — no second transfer is scheduled.
+  MirrorFixture f;
+  const meta::DatasetId id = f.ingest_one("big", 2_GB);
+  ASSERT_TRUE(f.facility.metadata().tag(id, "share-with-heidelberg")
+                  .is_ok());
+  f.facility.simulator().run_until(f.facility.simulator().now() + 2_s);
+  EXPECT_EQ(f.mirror.in_flight(), 1);
+  ASSERT_TRUE(f.facility.metadata().untag(id, "share-with-heidelberg")
+                  .is_ok());
+  ASSERT_TRUE(f.facility.metadata().tag(id, "share-with-heidelberg")
+                  .is_ok());
+  f.mirror.mirror(id);
+  f.facility.simulator().run_while_pending(
+      [&] { return f.mirror.is_mirrored(id); });
+  EXPECT_EQ(f.mirror.stats().queued, 1);
+  EXPECT_EQ(f.mirror.stats().mirrored, 1);
+}
+
 TEST(MirrorService, ConcurrencyIsBounded) {
   MirrorConfig config = MirrorFixture::base_config();
   config.max_concurrent = 2;

@@ -68,7 +68,10 @@ DETERMINISM_ALLOWLIST = {
 
 # Directories whose event/fingerprint/schedule order is the determinism
 # contract (DESIGN.md §5, §5c): unordered iteration here is an escape.
-DETERMINISM_CRITICAL_PREFIXES = ("src/sim/", "src/net/", "src/chk/")
+# src/fed/ qualifies because rule-resolution order — (dataset-id, rule-id)
+# ascending — is part of the replay contract (DESIGN.md §4i).
+DETERMINISM_CRITICAL_PREFIXES = ("src/sim/", "src/net/", "src/chk/",
+                                 "src/fed/")
 
 # The lock-implementation layer may use raw std::mutex (TrackedMutex cannot
 # track itself) and cannot annotate against a non-capability guard.

@@ -1,0 +1,8 @@
+// A replica rule. (A plain comment, not a //! module comment.)
+#pragma once
+
+namespace lsdf {
+struct FixtureRule {
+  int copies = 1;
+};
+}  // namespace lsdf

@@ -1,0 +1,8 @@
+//! Fixture: a federation replica rule, documented the house way.
+#pragma once
+
+namespace lsdf {
+struct FixtureRule {
+  int copies = 1;
+};
+}  // namespace lsdf

@@ -10,6 +10,11 @@ questions Perfetto makes you answer with a mouse:
   * what each slow request's critical path was (the longest parent->child
     span chain), i.e. what to optimise first.
 
+Federation traces (category "fed": the fed.resolve / fed.replicate spans
+emitted by fed::FederationService, DESIGN.md par. 4i) additionally get a
+per-rule report: replication volume per rule and the rule's critical-path
+chain — the resolve->replicate span sequence of its slowest dataset.
+
 Usage:
   tools/trace_report.py TRACE.json [--top N]
 
@@ -87,6 +92,58 @@ def fmt_ms(us: float) -> str:
     return f"{us / 1000.0:.3f} ms"
 
 
+def span_wall(spans: list[dict]) -> float:
+    """First start to last end across a span group, in microseconds."""
+    start = min(event["ts"] for event in spans)
+    end = max(event["ts"] + event.get("dur", 0) for event in spans)
+    return end - start
+
+
+def federation_report(events: list[dict]) -> None:
+    """Per-rule view of the fed.* spans.
+
+    fed.replicate events carry {rule, dataset, site} args; fed.resolve
+    events carry {dataset}. For every rule this prints its replication
+    volume and the critical-path chain: the spans of the rule's slowest
+    dataset (largest first-resolve-to-last-replica wall time), ordered by
+    timestamp — the federation analogue of the per-request critical path.
+    """
+    fed_events = [event for event in events
+                  if event.get("ph") == "X" and event.get("cat") == "fed"]
+    if not fed_events:
+        return
+    by_rule: dict[str, list[dict]] = defaultdict(list)
+    resolves_by_dataset: dict[str, list[dict]] = defaultdict(list)
+    for event in fed_events:
+        args = event.get("args", {})
+        if args.get("rule"):
+            by_rule[args["rule"]].append(event)
+        elif args.get("dataset"):
+            resolves_by_dataset[args["dataset"]].append(event)
+    print(f"\n== federation: {len(fed_events)} fed span(s), "
+          f"{len(by_rule)} rule(s) ==")
+    for rule, spans in sorted(by_rule.items()):
+        by_dataset: dict[str, list[dict]] = defaultdict(list)
+        for event in spans:
+            by_dataset[event["args"].get("dataset", "?")].append(event)
+        total_us = sum(event.get("dur", 0) for event in spans)
+        print(f"  rule {rule}: {len(spans)} replication(s) over "
+              f"{len(by_dataset)} dataset(s), span time {fmt_ms(total_us)}")
+        dataset, dataset_spans = max(by_dataset.items(),
+                                     key=lambda item: span_wall(item[1]))
+        chain = sorted(dataset_spans + resolves_by_dataset.get(dataset, []),
+                       key=lambda event: event["ts"])
+        print(f"    critical path (dataset {dataset}, "
+              f"wall {fmt_ms(span_wall(chain))}):")
+        for depth, event in enumerate(chain[:8]):
+            site = event.get("args", {}).get("site")
+            where = f" -> {site}" if site else ""
+            print(f"      {'  ' * depth}{event.get('name', '?')}{where} "
+                  f"{fmt_ms(event.get('dur', 0))}")
+        if len(chain) > 8:
+            print(f"      ... {len(chain) - 8} more span(s)")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("trace", help="Chrome trace JSON from --trace")
@@ -98,6 +155,7 @@ def main() -> int:
     by_request = attributed_spans(events)
     print(f"trace: {len(events)} event(s), "
           f"{len(by_request)} attributed request(s)")
+    federation_report(events)
     if not by_request:
         print("no request-attributed spans found "
               "(was the run traced with requests in scope?)")
@@ -147,4 +205,8 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Piped into `head` and the reader closed first; not an error.
+        sys.exit(0)
