@@ -272,10 +272,21 @@ void run_sharded_dispatch(std::uint64_t events_per_shard,
       parallel.throughput.seconds > 0.0
           ? serial.throughput.seconds / parallel.throughput.seconds
           : 0.0;
-  lsdf::bench::row("sharded fingerprint: %016llx (serial == x%u), "
-                   "speedup %.2fx on %u hw threads",
-                   static_cast<unsigned long long>(serial.fingerprint),
-                   workers, speedup, hw);
+  if (workers == 1) {
+    // One hardware thread: the pooled run degenerates to the same serial
+    // loop (ShardedSimulator spawns pool_threads - 1 extra executors), so
+    // ~1.0x is the *correct* number, not a regression — record it as such
+    // instead of pretending a scaling measurement happened.
+    lsdf::bench::row("sharded fingerprint: %016llx (serial == x1); single "
+                     "hw thread — speedup not expected, ratio %.2fx",
+                     static_cast<unsigned long long>(serial.fingerprint),
+                     speedup);
+  } else {
+    lsdf::bench::row("sharded fingerprint: %016llx (serial == x%u), "
+                     "speedup %.2fx on %u hw threads",
+                     static_cast<unsigned long long>(serial.fingerprint),
+                     workers, speedup, hw);
+  }
   if (!json_path.empty()) {
     lsdf::bench::write_json_section(
         json_path, "perf_sharded_dispatch" + suffix,
@@ -285,7 +296,8 @@ void run_sharded_dispatch(std::uint64_t events_per_shard,
          {"events", parallel.throughput.events},
          {"serial_events_per_sec", serial.throughput.events_per_sec()},
          {"parallel_events_per_sec", parallel.throughput.events_per_sec()},
-         {"speedup", speedup}});
+         {"speedup", speedup},
+         {"speedup_expected", workers > 1 ? 1.0 : 0.0}});
   }
 }
 

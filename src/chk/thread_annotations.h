@@ -43,3 +43,14 @@
 // of LSDF_GUARDED_BY, making "deliberately unguarded" visible and
 // greppable instead of implicit.
 #define LSDF_CONST_AFTER_INIT
+
+// Documents a member of a mutex-owning class that is shared between
+// threads but never accessed concurrently: ownership is handed from one
+// thread to the next through an explicit synchronization point — a
+// barrier publication under the owning mutex, an acquire-release arrival
+// counter, a task join (sim::ShardedSimulator's round protocol is the
+// canonical user). Clang cannot express phase-based ownership transfer,
+// so like LSDF_CONST_AFTER_INIT this expands to nothing everywhere; the
+// lsdf_lint lock-discipline rule accepts it in lieu of LSDF_GUARDED_BY so
+// the hand-off discipline is declared where the field lives.
+#define LSDF_BARRIER_SYNCHRONIZED

@@ -64,6 +64,10 @@ class Topology {
   [[nodiscard]] SimDuration path_latency(
       const std::vector<LinkId>& path) const;
 
+  // Bottleneck (smallest) link capacity along `path`; the rate a transfer
+  // streamed over the whole path cannot exceed. `path` must be non-empty.
+  [[nodiscard]] Rate path_bottleneck(const std::vector<LinkId>& path) const;
+
   // Smallest propagation latency over the currently-up links — the safe
   // conservative lookahead for a sharded run where shards talk only across
   // this topology's links (sim::ShardedSimulator, DESIGN.md §5c): no

@@ -5,32 +5,60 @@
 //! streams in bounded time windows — in parallel on an exec::ThreadPool, or
 //! serially on the caller thread when no pool is given. Shards exchange
 //! work only through a cross-shard mailbox whose delivery delay is at least
-//! the configured `lookahead` (derived from model latencies: link RTTs via
-//! net::Topology::min_up_link_latency(), tape mount times, ...), so a
-//! cross-shard event can never arrive in a receiving shard's past.
+//! the lookahead configured for the (sender, receiver) pair (derived from
+//! model latencies: link RTTs via net::Topology, tape mount times, ... —
+//! sim::Partitioner derives the whole matrix from a partitioned topology),
+//! so a cross-shard event can never arrive in a receiving shard's past.
+//!
+//! Windows are per-shard: shard s may run up to
+//!   window_end(s) = min(limit, min over t != s of
+//!                       next_event_time(t) + lookahead(t -> s))
+//! because any mail shard t sends meanwhile delivers at or after
+//! next_event_time(t) + lookahead(t, s). A shard whose next event lies
+//! beyond its window is skipped for the round (idle-shard window skipping);
+//! uncoupled pairs (lookahead SimDuration::max()) never constrain each
+//! other.
+//!
+//! Execution uses persistent per-run workers: run() parks one executor per
+//! pool thread (capped at the shard count) in a round loop — no per-window
+//! ThreadPool submit churn. Ready shards are striped over the executors;
+//! the last executor to finish its stripe becomes the barrier winner and,
+//! still on its own thread, drains all mailboxes in one sorted splice,
+//! plans the next round and wakes the others (fused window-advance +
+//! barrier). The pool must keep its threads available for the duration of
+//! the run (dedicate one; workers park in the barrier, they do not yield
+//! tasks). With no pool — or a 1-thread pool — the caller thread runs the
+//! identical plan/deliver arithmetic in a tight serial loop.
 //!
 //! Determinism is the hard requirement (DESIGN.md §5c): a run on W worker
 //! threads produces byte-identical per-shard event streams — and therefore
 //! a byte-identical merged fingerprint() — to the single-threaded run,
 //! because (a) each shard's kernel is sequential and deterministic, (b)
-//! windows are global barriers sized by the same lookahead arithmetic
-//! regardless of W, and (c) mailbox deliveries and cancellations are
-//! applied only at barriers, on the coordinating thread, in a fixed total
-//! order (sending shard id, then post order — a deterministic tie-break
-//! under the merge's (time, shard, seq) total order). chk::replay_check
-//! remains the oracle: wrap a sharded scenario exactly like a
-//! single-kernel one.
+//! window plans are a pure function of per-shard next-event times and the
+//! lookahead matrix, computed by one thread at each barrier regardless of
+//! W, and (c) mailbox deliveries and cancellations are applied only at
+//! barriers, on the winner's thread, in a fixed total order (sending shard
+//! id, then post order — a deterministic tie-break under the merge's
+//! (time, shard, seq) total order). Which executor runs which shard is the
+//! only timing-dependent choice, and it cannot matter: shards never touch
+//! each other's state inside a round. chk::replay_check remains the
+//! oracle: wrap a sharded scenario exactly like a single-kernel one.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
-#include <map>
+#include <exception>
 #include <memory>
 #include <vector>
 
 #include "chk/fingerprint.h"
+#include "chk/lock_registry.h"
+#include "chk/thread_annotations.h"
 #include "common/require.h"
 #include "common/units.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace lsdf::sim {
@@ -44,17 +72,34 @@ struct MailId {
 
 class ShardedSimulator {
  public:
-  // `shards` kernels synchronised with conservative windows of `lookahead`.
-  // Passing a pool runs each window's shards as parallel pool tasks; null
-  // runs them serially on the caller thread (the single-threaded oracle
-  // configuration — same fingerprint by construction).
+  // `shards` kernels synchronised with conservative windows; `lookahead`
+  // seeds every ordered shard pair (refine with set_pair_lookahead).
+  // Passing a pool runs each round's ready shards on persistent workers;
+  // null runs them serially on the caller thread (the single-threaded
+  // oracle configuration — same fingerprint by construction).
   ShardedSimulator(std::uint32_t shards, SimDuration lookahead,
                    exec::ThreadPool* pool = nullptr);
 
   [[nodiscard]] std::uint32_t shard_count() const {
     return static_cast<std::uint32_t>(shards_.size());
   }
-  [[nodiscard]] SimDuration lookahead() const { return lookahead_; }
+  // The tightest coupling in the matrix: the smallest lookahead over all
+  // ordered shard pairs (the constructor value until a pair is refined).
+  [[nodiscard]] SimDuration lookahead() const { return min_lookahead_; }
+  [[nodiscard]] SimDuration lookahead(std::uint32_t from,
+                                      std::uint32_t to) const;
+
+  // Refine one ordered pair's synchronization horizon — e.g. to the WAN
+  // latency between two sites (sim::Partitioner derives this from the
+  // partitioned net::Topology). SimDuration::max() marks the pair
+  // uncoupled: `from` can never mail `to`, and never constrains its
+  // windows. Build-time only (refused while a run is in progress). At the
+  // next run the kernel takes the matrix's min-plus transitive closure: a
+  // relay via shard t bounds from->to influence by
+  // lookahead(from, t) + lookahead(t, to), and the window planner needs
+  // that closed bound to safely ignore peers with no pending events.
+  void set_pair_lookahead(std::uint32_t from, std::uint32_t to,
+                          SimDuration lookahead);
 
   // The shard's kernel, for wiring shard-local models at build time (each
   // model keeps a reference to *its own* shard's Simulator and schedules on
@@ -75,19 +120,21 @@ class ShardedSimulator {
 
   // Cross-shard mailbox. Callable from shard `from`'s window (or at build
   // time): delivers `callback` as a fresh event on shard `to` at
-  // now(from) + delay. `delay` must be >= lookahead() — that bound is what
-  // guarantees the receiver has not yet executed past the delivery time.
-  // Delivery happens at the next window barrier, in deterministic
+  // now(from) + delay. `delay` must be >= lookahead(from, to) — that bound
+  // is what guarantees the receiver has not yet executed past the delivery
+  // time. Delivery happens at the next window barrier, in deterministic
   // (sending shard, post order) order.
   MailId post(std::uint32_t from, std::uint32_t to, SimDuration delay,
               Simulator::Callback callback);
 
-  // Cancel a message previously post()ed by shard `from`. Takes effect at
-  // the next barrier: mail still in the sender's outbox is dropped; mail
-  // already scheduled on the destination shard is cancelled there if its
-  // delivery time has not fired yet (always the case when the cancel is
-  // issued before the mail's lookahead horizon). Safe to call with a
-  // handle whose mail already fired — it is then a deterministic no-op.
+  // Cancel a message previously post()ed by shard `from`. Effective iff
+  // issued (by the sender's sim clock) before the mail's delivery time —
+  // a rule in simulation time, so it cannot depend on how wide the
+  // scheduler happened to cut the windows. Applied at the next barrier:
+  // an effective cancel drops mail still in the sender's outbox, or
+  // cancels it on the destination shard if already scheduled there.
+  // Safe to call with a handle whose mail already fired (sim-time-wise) —
+  // it is then a deterministic no-op.
   void cancel_mail(std::uint32_t from, MailId id);
 
   // Run until every shard drains and no mail is in flight. Returns events
@@ -120,6 +167,13 @@ class ShardedSimulator {
   [[nodiscard]] std::uint64_t mail_cancelled() const {
     return mail_cancelled_;
   }
+  // Window telemetry: shard-windows actually advanced, and windows a shard
+  // with pending work sat out because its next event lay beyond its
+  // conservative horizon.
+  [[nodiscard]] std::uint64_t windows_run() const { return windows_run_; }
+  [[nodiscard]] std::uint64_t idle_windows_skipped() const {
+    return idle_windows_skipped_;
+  }
 
  private:
   struct Mail {
@@ -129,47 +183,137 @@ class ShardedSimulator {
     Simulator::Callback callback;
   };
 
-  // Everything a worker touches while running one shard's window lives
-  // here; the barrier (futures / serial execution) provides the
-  // happens-before edge between a worker's writes and the coordinator's
-  // reads, so no locks are needed.
-  struct ShardState {
+  // Everything an executor touches while running one shard's window lives
+  // here; the round protocol (publish under round_mutex_, arrivals with
+  // acquire-release) provides the happens-before edge between one round's
+  // writes and the next reader, so no per-shard locks are needed.
+  // Cache-line aligned: adjacent shards run on different workers.
+  // A cancel_mail call, stamped with the sender's sim clock: a cancel is
+  // honoured only when it was issued before the mail's delivery time, so
+  // the outcome follows *simulation* time. (Window sizes are a scheduling
+  // artifact — an idle peer gives the sender an arbitrarily wide window,
+  // which may put a post and a much-later cancel into the same barrier.)
+  struct Cancel {
+    std::uint64_t token = 0;
+    SimTime issued;
+  };
+
+  struct alignas(64) ShardState {
     std::unique_ptr<Simulator> sim;
-    std::vector<Mail> outbox;             // posts made this window
-    std::vector<std::uint64_t> cancels;   // cancel_mail tokens this window
+    std::vector<Mail> outbox;    // posts made this window
+    std::vector<Cancel> cancels; // cancel_mail calls this window
     std::uint64_t next_token = 0;
+    // Wall-clock bracket of this shard's latest window, for the
+    // shard.window / shard.barrier trace spans the winner emits.
+    std::int64_t window_start_us = 0;
+    std::int64_t window_dur_us = 0;
   };
 
   // Mail already scheduled on its destination shard but (possibly) not yet
-  // fired — the coordinator's handle for barrier-time cancellation.
+  // fired — the barrier's handle for cancellation, kept sorted by token so
+  // a barrier costs one binary-searched pass plus one sorted splice.
   struct DeliveredMail {
+    std::uint64_t token = 0;
     std::uint32_t to = 0;
     EventId event;
     SimTime deliver;
   };
 
-  // Apply pending cancels and deliver pending outboxes (coordinator thread,
-  // at a barrier). Deterministic: shards in id order, entries in post order.
+  // One round's plan: the shards with work inside their window, ascending,
+  // with the parallel window-end array, striped over the round's
+  // participant executors. Written by the barrier winner, published by
+  // round_state_; only participants (who the round cannot complete
+  // without) ever read it, so it is stable for exactly as long as anyone
+  // looks at it.
+  struct RoundPlan {
+    std::vector<std::uint32_t> ready;
+    std::vector<SimTime> window;  // window[k] bounds ready[k]
+  };
+
+  [[nodiscard]] SimDuration pair_lookahead(std::uint32_t from,
+                                           std::uint32_t to) const {
+    return pair_lookahead_[from * shards_.size() + to];
+  }
+
+  // Apply pending cancels and deliver pending outboxes (single thread, at
+  // a barrier). Deterministic: shards in id order, entries in post order.
+  // Min-plus transitive closure of pair_lookahead_ (saturating at
+  // SimDuration::max()), run lazily at the top of run_core after any
+  // set_pair_lookahead. Closure is what lets plan_round drop drained peers
+  // from a shard's window bound: with la(u,s) <= la(u,t) + la(t,s) for all
+  // t, any influence a drained shard could still relay is already counted
+  // by the live shard that would wake it. Closing only lowers entries, so
+  // windows get (weakly) tighter — never unsafe — and post()'s delay
+  // validation checks the closed value, which every physically-derived
+  // delay still satisfies.
+  void close_lookahead();
   void barrier_deliver();
-  // Earliest pending event over all shards (outboxes must be empty).
-  SimTime next_event_floor();
-  // Run one window over the shards that have work in it; returns events
-  // executed.
-  std::size_t run_window(SimTime window_end);
+  // Compute the next round's ready set and windows; false when drained or
+  // past limit_. Single thread, at a barrier.
+  bool plan_round();
   // One shard's slice of a window (worker or caller thread; shard-guarded).
   std::size_t run_shard(std::uint32_t s, SimTime window_end);
   std::size_t run_core(SimTime limit);
 
-  SimDuration lookahead_;
-  exec::ThreadPool* pool_;
-  std::vector<ShardState> shards_;
-  // std::map: purge iteration order (and thus any future telemetry) stays
-  // deterministic.
-  std::map<std::uint64_t, DeliveredMail> in_flight_;
-  bool running_ = false;
-  std::uint64_t mail_posted_ = 0;
-  std::uint64_t mail_delivered_ = 0;
-  std::uint64_t mail_cancelled_ = 0;
+  // Persistent-worker machinery (pooled runs).
+  std::size_t run_pooled(std::uint32_t spawn);
+  void executor_loop(std::uint32_t executor);
+  bool await_round(std::uint64_t& seen);
+  void run_round(std::uint32_t executor, std::uint32_t participants);
+  void finish_round();
+  void publish(bool over);
+  void record_error(std::exception_ptr error);
+  void round_telemetry();
+
+  // --- build-time configuration (immutable while a run is in flight) ---
+  SimDuration min_lookahead_ LSDF_CONST_AFTER_INIT;
+  std::vector<SimDuration> pair_lookahead_ LSDF_CONST_AFTER_INIT;
+  bool closure_dirty_ LSDF_CONST_AFTER_INIT = false;
+  exec::ThreadPool* pool_ LSDF_CONST_AFTER_INIT;
+
+  // --- barrier-synchronized simulation state ---
+  // Mutated by whichever executor owns a shard inside a round, or by the
+  // barrier winner between rounds; every hand-off goes through the round
+  // publication protocol.
+  std::vector<ShardState> shards_ LSDF_BARRIER_SYNCHRONIZED;
+  std::vector<DeliveredMail> in_flight_ LSDF_BARRIER_SYNCHRONIZED;
+  RoundPlan plan_ LSDF_BARRIER_SYNCHRONIZED;
+  SimTime limit_ LSDF_BARRIER_SYNCHRONIZED = SimTime::max();
+  bool running_ LSDF_BARRIER_SYNCHRONIZED = false;
+  bool trace_rounds_ LSDF_BARRIER_SYNCHRONIZED = false;
+  std::uint64_t mail_posted_ LSDF_BARRIER_SYNCHRONIZED = 0;
+  std::uint64_t mail_delivered_ LSDF_BARRIER_SYNCHRONIZED = 0;
+  std::uint64_t mail_cancelled_ LSDF_BARRIER_SYNCHRONIZED = 0;
+  std::uint64_t windows_run_ LSDF_BARRIER_SYNCHRONIZED = 0;
+  std::uint64_t idle_windows_skipped_ LSDF_BARRIER_SYNCHRONIZED = 0;
+  // Barrier scratch, reused so steady state allocates nothing.
+  std::vector<Cancel> scratch_cancels_ LSDF_BARRIER_SYNCHRONIZED;
+  std::vector<DeliveredMail> scratch_delivered_ LSDF_BARRIER_SYNCHRONIZED;
+  std::vector<SimTime> floors_ LSDF_BARRIER_SYNCHRONIZED;
+
+  // --- round publication protocol ---
+  // The winner stores the new plan, then publishes
+  // round_state_ = (round number << 8) | participant count (release, under
+  // round_mutex_) and notifies; executors acquire-load it (a bounded spin,
+  // then the condition variable). Packing the participant count into the
+  // same word executors already watch means a non-participant — e.g. a
+  // worker that registered mid-round — decides "not my round" from that
+  // one atomic alone and never dereferences a plan that a concurrent
+  // winner may be rewriting.
+  std::atomic<std::uint64_t> round_state_{0};
+  std::atomic<bool> run_over_{false};
+  std::atomic<std::uint32_t> arrived_{0};
+  std::atomic<std::uint64_t> round_executed_{0};
+  chk::TrackedMutex round_mutex_{"sim.sharded_round"};
+  std::condition_variable_any round_cv_;
+  std::uint32_t started_workers_ LSDF_GUARDED_BY(round_mutex_) = 0;
+  std::exception_ptr error_ LSDF_GUARDED_BY(round_mutex_);
+
+  // --- instruments (registry-owned; registration is construction-time) ---
+  obs::Counter& windows_metric_ LSDF_CONST_AFTER_INIT;
+  obs::Counter& idle_metric_ LSDF_CONST_AFTER_INIT;
+  obs::Gauge& mailbox_depth_metric_ LSDF_CONST_AFTER_INIT;
+  obs::HdrHistogram& barrier_wait_metric_ LSDF_CONST_AFTER_INIT;
 };
 
 }  // namespace lsdf::sim

@@ -218,6 +218,19 @@ std::size_t Simulator::run_until(SimTime deadline) {
   return executed;
 }
 
+std::size_t Simulator::run_window(SimTime horizon) {
+  LSDF_REQUIRE(horizon >= now_, "run_window into the simulated past");
+  std::size_t executed = 0;
+  while (settle_top() && queue_top().time <= horizon) {
+    dispatch_top();
+    ++executed;
+  }
+  // Unlike run_until, now_ stays at the last executed event: the horizon is
+  // a safety bound, not a clock target.
+  flush_observability();
+  return executed;
+}
+
 void Resource::acquire(std::int64_t units, Simulator::Callback granted) {
   LSDF_REQUIRE(units > 0, "must acquire a positive number of units");
   LSDF_REQUIRE(units <= capacity_,

@@ -132,6 +132,13 @@ class Simulator {
   // `deadline` (even if the queue is non-empty or drained earlier).
   std::size_t run_until(SimTime deadline);
 
+  // Run all events with timestamp <= `horizon`, leaving the clock at the
+  // last executed event. The sharded kernel's window primitive: a shard
+  // granted a wide (possibly unbounded) conservative window must not burn
+  // its clock up to the window end, or mail routed back to it later —
+  // timed off its *peers'* much smaller clocks — would land in its past.
+  std::size_t run_window(SimTime horizon);
+
   // Run until `done()` becomes true (checked after each event) or the queue
   // drains; returns whether the predicate was satisfied.
   template <typename Pred>

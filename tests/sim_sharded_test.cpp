@@ -225,7 +225,13 @@ TEST(ShardedKernel, CrossShardCancelBeforeHorizon) {
   });
   // (b) Posted with a 10 ms fuse, cancelled by a later shard-0 event well
   // before the delivery horizon: by then the mail is already scheduled on
-  // shard 1, so the barrier must cancel it there.
+  // shard 1, so the barrier must cancel it there. Shard 1 gets its own
+  // pending work so the per-pair planner keeps shard 0's windows bounded —
+  // with an idle peer the post and the cancel would share one wide window
+  // and the mail would be dropped from the outbox instead (case (a)).
+  for (int t = 1; t <= 20; ++t) {
+    sharded.seed(1, SimTime::zero() + t * 1_ms, [] {});
+  }
   sim::MailId long_fuse{};
   sharded.seed(0, SimTime::zero() +2_ms, [&sharded, &long_fuse, &fired] {
     long_fuse = sharded.post(0, 1, 10_ms, [&fired] { ++fired; });

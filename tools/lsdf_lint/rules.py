@@ -277,8 +277,9 @@ def _check_lock_discipline(rule: Rule, ctx: FileContext) -> None:
             ctx.report(
                 rule, f.line,
                 f"field '{f.name}' of mutex-owning {cls.name} has no "
-                f"LSDF_GUARDED_BY({mutex_names}) — annotate it, or mark a "
-                f"construction-time-only field LSDF_CONST_AFTER_INIT",
+                f"LSDF_GUARDED_BY({mutex_names}) — annotate it, mark a "
+                f"construction-time-only field LSDF_CONST_AFTER_INIT, or a "
+                f"barrier-handed-off field LSDF_BARRIER_SYNCHRONIZED",
             )
 
 

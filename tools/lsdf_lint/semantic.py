@@ -5,7 +5,8 @@ C++ parser — just the structures the LSDF rules need, extracted robustly:
 
   * class/struct scopes with their member-field declarations, qualifiers
     (`static`, `const`, `mutable`, references) and thread-safety
-    annotations (`LSDF_GUARDED_BY`, `LSDF_CONST_AFTER_INIT`), plus which
+    annotations (`LSDF_GUARDED_BY`, `LSDF_CONST_AFTER_INIT`,
+    `LSDF_BARRIER_SYNCHRONIZED`), plus which
     members are mutexes — feeds the lock-discipline rule;
   * container declarations (`std::map`/`set`/`unordered_*`) with their key
     type, and iteration sites (range-for, `.begin()`) — feeds the
@@ -45,7 +46,14 @@ GUARDED_ANNOTATIONS = {
     "GUARDED_BY",
     "PT_GUARDED_BY",
 }
-CONST_AFTER_INIT_ANNOTATIONS = {"LSDF_CONST_AFTER_INIT"}
+# LSDF_BARRIER_SYNCHRONIZED joins LSDF_CONST_AFTER_INIT here: both declare
+# a discipline clang cannot express (phase-based ownership hand-off through
+# a barrier publication vs. build-time-only writes), and both satisfy the
+# lock-discipline rule in lieu of LSDF_GUARDED_BY.
+CONST_AFTER_INIT_ANNOTATIONS = {
+    "LSDF_CONST_AFTER_INIT",
+    "LSDF_BARRIER_SYNCHRONIZED",
+}
 
 # Identifier-like tokens whose trailing (...) group is not a function
 # parameter list: annotation/attribute macros and friends.

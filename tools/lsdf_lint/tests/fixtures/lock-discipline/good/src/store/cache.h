@@ -19,6 +19,7 @@ class Cache {
   chk::TrackedMutex mutex_{"store.cache"};
   std::string last_key_ LSDF_GUARDED_BY(mutex_);
   std::vector<int> sizes_ LSDF_CONST_AFTER_INIT;
+  std::vector<int> pending_ LSDF_BARRIER_SYNCHRONIZED;
   std::atomic<int> hits_{0};
   const int capacity_ = 128;
 };

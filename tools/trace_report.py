@@ -144,6 +144,53 @@ def federation_report(events: list[dict]) -> None:
             print(f"      ... {len(chain) - 8} more span(s)")
 
 
+def shard_report(events: list[dict]) -> None:
+    """Per-shard view of the sharded kernel's round telemetry.
+
+    The ShardedSimulator's barrier winner emits one shard.window span (the
+    shard's dispatch time inside a round) and one shard.barrier span (that
+    shard finishing its window -> the round's barrier completing, i.e. time
+    spent waiting for stragglers) per ready shard per round, both carrying
+    a {shard} arg (category "sim"). This prints dispatch vs barrier-wait
+    per shard and flags the straggler — the shard with the most dispatch
+    time, which every other shard's barrier wait is paying for.
+    """
+    windows: dict[str, list[dict]] = defaultdict(list)
+    barriers: dict[str, list[dict]] = defaultdict(list)
+    for event in events:
+        if event.get("ph") != "X" or event.get("cat") != "sim":
+            continue
+        shard = event.get("args", {}).get("shard")
+        if shard is None:
+            continue
+        if event.get("name") == "shard.window":
+            windows[str(shard)].append(event)
+        elif event.get("name") == "shard.barrier":
+            barriers[str(shard)].append(event)
+    if not windows:
+        return
+    rows = []
+    for shard in windows:
+        dispatch_us = sum(event.get("dur", 0) for event in windows[shard])
+        wait_us = sum(event.get("dur", 0)
+                      for event in barriers.get(shard, []))
+        rows.append((dispatch_us, wait_us, len(windows[shard]), shard))
+    straggler = max(rows)[3]
+    print(f"\n== sharded kernel: {sum(r[2] for r in rows)} window(s) over "
+          f"{len(rows)} shard(s) ==")
+    print(f"  {'shard':<8} {'windows':>8} {'dispatch':>14} "
+          f"{'barrier wait':>14} {'busy':>7}")
+    for dispatch_us, wait_us, count, shard in sorted(
+            rows, key=lambda row: int(row[3])):
+        busy = dispatch_us / (dispatch_us + wait_us) \
+            if dispatch_us + wait_us > 0 else 0.0
+        flag = "  <- straggler" if shard == straggler else ""
+        print(f"  {shard:<8} {count:>8} {fmt_ms(dispatch_us):>14} "
+              f"{fmt_ms(wait_us):>14} {100.0 * busy:6.1f}%{flag}")
+    print("  (straggler = most dispatch time; the other shards' barrier "
+          "wait is the cost of its windows)")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("trace", help="Chrome trace JSON from --trace")
@@ -156,6 +203,7 @@ def main() -> int:
     print(f"trace: {len(events)} event(s), "
           f"{len(by_request)} attributed request(s)")
     federation_report(events)
+    shard_report(events)
     if not by_request:
         print("no request-attributed spans found "
               "(was the run traced with requests in scope?)")
